@@ -1,0 +1,89 @@
+// Command loadgen drives the simulated inference tier with Poisson load
+// and reports latency percentiles and SLA-bounded goodput — the
+// latency-bounded-throughput methodology of §III.
+//
+// Usage:
+//
+//	loadgen -model rmc2 -machine Skylake -workers 8 -qps 2000 -sla 10ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"recsys/internal/arch"
+	"recsys/internal/model"
+	"recsys/internal/server"
+)
+
+func main() {
+	var (
+		preset      = flag.String("model", "rmc1", "rmc1, rmc2, rmc3, or ncf")
+		machineName = flag.String("machine", "Broadwell", "Haswell, Broadwell, or Skylake")
+		batch       = flag.Int("batch", 16, "batch size per request")
+		workers     = flag.Int("workers", 4, "co-located model instances (thread pool size)")
+		qps         = flag.Float64("qps", 1000, "offered load, requests/s")
+		requests    = flag.Int("requests", 20000, "requests to simulate")
+		sla         = flag.Duration("sla", 10*time.Millisecond, "latency SLA")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		maxBatch    = flag.Int("max-batch", 0, "enable dynamic batching up to this many samples (0 = fixed batches)")
+		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "dynamic-batching wait bound")
+	)
+	flag.Parse()
+
+	var cfg model.Config
+	switch strings.ToLower(*preset) {
+	case "rmc1":
+		cfg = model.RMC1Small()
+	case "rmc2":
+		cfg = model.RMC2Small()
+	case "rmc3":
+		cfg = model.RMC3Small()
+	case "ncf":
+		cfg = model.MLPerfNCF()
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown model %q\n", *preset)
+		os.Exit(1)
+	}
+	m, err := arch.ByName(*machineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sc := server.SimConfig{
+		Model:    cfg,
+		Machine:  m,
+		Batch:    *batch,
+		Workers:  *workers,
+		QPS:      *qps,
+		Requests: *requests,
+		SLAUS:    float64(sla.Microseconds()),
+		Seed:     *seed,
+	}
+	var res server.Result
+	if *maxBatch > 0 {
+		res = server.SimulateBatched(server.BatcherConfig{
+			SimConfig: sc,
+			MaxBatch:  *maxBatch,
+			MaxWaitUS: float64(maxWait.Microseconds()),
+		})
+		fmt.Printf("%s on %s  dynamic batching (<=%d, wait<=%v) workers=%d offered=%.0f QPS  SLA=%v\n\n",
+			cfg.Name, m.Name, *maxBatch, *maxWait, *workers, *qps, *sla)
+	} else {
+		res = server.Simulate(sc)
+		fmt.Printf("%s on %s  batch=%d workers=%d offered=%.0f QPS  SLA=%v\n\n", cfg.Name, m.Name, *batch, *workers, *qps, *sla)
+	}
+	s := res.Latencies.Summarize()
+	fmt.Printf("requests:       %d\n", res.Completed)
+	fmt.Printf("latency mean:   %.1fµs\n", s.Mean)
+	fmt.Printf("latency p50:    %.1fµs\n", s.P50)
+	fmt.Printf("latency p95:    %.1fµs\n", s.P95)
+	fmt.Printf("latency p99:    %.1fµs\n", s.P99)
+	fmt.Printf("SLA violations: %d (%.2f%%)\n", res.SLAViolations, 100*float64(res.SLAViolations)/float64(res.Completed))
+	fmt.Printf("throughput:     %.0f req/s (%.0f items/s)\n", res.ThroughputQPS, res.ThroughputQPS*float64(*batch))
+	fmt.Printf("goodput:        %.0f req/s within SLA\n", res.GoodputQPS())
+}

@@ -1,0 +1,138 @@
+// Command recbench is the configurable recommendation-model benchmark
+// (the repository's analogue of the paper's open-source DLRM benchmark,
+// Figure 13): it builds a model from command-line knobs — embedding
+// table count/shape, lookups, MLP widths — and reports its per-operator
+// latency on a chosen server architecture, batch size, and co-location
+// degree.
+//
+// Usage:
+//
+//	recbench -model rmc2                      # a Table I class
+//	recbench -tables 8 -rows 1e6 -lookups 32  # a custom model
+//	recbench -model rmc3 -machine Skylake -batch 128 -tenants 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"recsys/internal/arch"
+	"recsys/internal/model"
+	"recsys/internal/perf"
+)
+
+func main() {
+	var (
+		preset      = flag.String("model", "", "preset: rmc1, rmc1-large, rmc2, rmc2-large, rmc3, rmc3-large, ncf (overrides custom knobs)")
+		configPath  = flag.String("config", "", "JSON model-config file (overrides preset and custom knobs)")
+		saveConfig  = flag.String("save-config", "", "write the resolved config as JSON and exit")
+		machineName = flag.String("machine", "Broadwell", "Haswell, Broadwell, or Skylake")
+		batch       = flag.Int("batch", 1, "batch size (user-item pairs per inference)")
+		tenants     = flag.Int("tenants", 1, "co-located model instances on the socket")
+		ht          = flag.Bool("ht", false, "hyperthread (two tenants per core)")
+
+		dense    = flag.Int("dense", 13, "custom: dense input features")
+		bottom   = flag.String("bottom", "256-128-32", "custom: Bottom-MLP widths")
+		top      = flag.String("top", "128-32-1", "custom: Top-MLP widths")
+		tables   = flag.Int("tables", 8, "custom: number of embedding tables")
+		rows     = flag.Float64("rows", 1e6, "custom: rows per table")
+		dim      = flag.Int("dim", 32, "custom: embedding dimension")
+		lookups  = flag.Int("lookups", 80, "custom: lookups per table per sample")
+		interact = flag.String("interaction", "cat", "custom: cat or dot")
+	)
+	flag.Parse()
+
+	var cfg model.Config
+	var err error
+	if *configPath != "" {
+		cfg, err = model.LoadConfig(*configPath)
+	} else {
+		cfg, err = resolveConfig(*preset, *dense, *bottom, *top, *tables, int(*rows), *dim, *lookups, *interact)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *saveConfig != "" {
+		if err := model.SaveConfig(cfg, *saveConfig); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *saveConfig)
+		return
+	}
+	m, err := arch.ByName(*machineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	mt := perf.Estimate(cfg, perf.Context{Machine: m, Batch: *batch, Tenants: *tenants, Hyperthread: *ht})
+	fmt.Printf("%s on %s  batch=%d tenants=%d ht=%v\n", cfg.Name, m.Name, *batch, *tenants, *ht)
+	fmt.Printf("embedding storage: %.2f GB, MLP parameters: %d\n\n", float64(cfg.EmbeddingBytes())/(1<<30), cfg.MLPParams())
+	fmt.Printf("%-28s %-18s %12s %12s %12s\n", "operator", "kind", "compute", "memory", "total")
+	for _, op := range mt.Ops {
+		fmt.Printf("%-28s %-18s %10.2fµs %10.2fµs %10.2fµs\n", op.Name, op.Kind, op.ComputeUS, op.MemoryUS, op.TotalUS)
+	}
+	fmt.Printf("\ntotal latency: %.1fµs  (%.0f items/s per instance, %.0f items/s per socket)\n",
+		mt.TotalUS, float64(*batch)/mt.TotalUS*1e6, float64(*batch**tenants)/mt.TotalUS*1e6)
+}
+
+func resolveConfig(preset string, dense int, bottom, top string, tables, rows, dim, lookups int, interact string) (model.Config, error) {
+	switch strings.ToLower(preset) {
+	case "rmc1":
+		return model.RMC1Small(), nil
+	case "rmc1-large":
+		return model.RMC1Large(), nil
+	case "rmc2":
+		return model.RMC2Small(), nil
+	case "rmc2-large":
+		return model.RMC2Large(), nil
+	case "rmc3":
+		return model.RMC3Small(), nil
+	case "rmc3-large":
+		return model.RMC3Large(), nil
+	case "ncf":
+		return model.MLPerfNCF(), nil
+	case "":
+	default:
+		return model.Config{}, fmt.Errorf("recbench: unknown preset %q", preset)
+	}
+	bot, err := parseWidths(bottom)
+	if err != nil {
+		return model.Config{}, err
+	}
+	topW, err := parseWidths(top)
+	if err != nil {
+		return model.Config{}, err
+	}
+	inter := model.Cat
+	if strings.EqualFold(interact, "dot") {
+		inter = model.Dot
+	}
+	cfg := model.Config{
+		Name:        "custom",
+		Class:       model.Custom,
+		DenseIn:     dense,
+		BottomMLP:   bot,
+		TopMLP:      topW,
+		Tables:      model.UniformTables(tables, rows, dim, lookups),
+		Interaction: inter,
+	}
+	return cfg, cfg.Validate()
+}
+
+func parseWidths(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, "-") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("recbench: bad MLP widths %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+// Command reproduce regenerates the paper's tables and figures from the
+// simulator.
+//
+// Usage:
+//
+//	reproduce -exp all            # every experiment
+//	reproduce -exp fig7           # one experiment
+//	reproduce -list               # list experiment IDs
+//	reproduce -exp fig11 -seed 7  # change the random seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"recsys/internal/repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+	seed := flag.Uint64("seed", 42, "random seed for stochastic experiments")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range repro.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+	if *exp == "all" {
+		for _, e := range repro.Experiments() {
+			fmt.Printf("==== %s: %s ====\n\n", e.ID, e.Description)
+			fmt.Println(e.Run(*seed))
+		}
+		return
+	}
+	out, err := repro.Run(*exp, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
+}

@@ -1,0 +1,78 @@
+// Command serve runs a recommendation model as an HTTP ranking service
+// using the concurrent inference engine (worker pool + cross-request
+// batching).
+//
+//	serve -checkpoint model.ckpt -addr :8080
+//	serve -model rmc1 -scale 100         # a scaled Table I preset
+//
+// Endpoints: POST /rank, GET /stats, GET /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"recsys/internal/engine"
+	"recsys/internal/model"
+	"recsys/internal/stats"
+)
+
+func main() {
+	var (
+		checkpoint = flag.String("checkpoint", "", "model checkpoint to serve (from Model.SaveFile)")
+		preset     = flag.String("model", "rmc1", "preset when no checkpoint is given: rmc1, rmc2, rmc3, ncf")
+		scale      = flag.Int("scale", 100, "embedding-table shrink factor for presets")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 4, "inference workers")
+		maxBatch   = flag.Int("max-batch", 32, "cross-request batch limit (samples)")
+		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "batch formation wait bound")
+		seed       = flag.Uint64("seed", 1, "weight seed for presets")
+	)
+	flag.Parse()
+
+	m, err := loadModel(*checkpoint, *preset, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := engine.New(m, engine.Options{
+		Workers:    *workers,
+		QueueDepth: 4 * *workers * *maxBatch,
+		MaxBatch:   *maxBatch,
+		MaxWait:    *maxWait,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	log.Printf("serving %s on %s (%d workers, batch<=%d, wait<=%v)",
+		m.Config.Name, *addr, *workers, *maxBatch, *maxWait)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+func loadModel(checkpoint, preset string, scale int, seed uint64) (*model.Model, error) {
+	if checkpoint != "" {
+		return model.LoadFile(checkpoint)
+	}
+	var cfg model.Config
+	switch strings.ToLower(preset) {
+	case "rmc1":
+		cfg = model.RMC1Small()
+	case "rmc2":
+		cfg = model.RMC2Small()
+	case "rmc3":
+		cfg = model.RMC3Small()
+	case "ncf":
+		cfg = model.MLPerfNCF()
+	default:
+		return nil, fmt.Errorf("serve: unknown preset %q", preset)
+	}
+	if scale > 1 {
+		cfg = cfg.Scaled(scale)
+	}
+	return model.Build(cfg, stats.NewRNG(seed))
+}

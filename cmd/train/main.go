@@ -1,0 +1,136 @@
+// Command train fits a recommendation model and writes a checkpoint
+// that cmd/serve can load. Training data comes from a Criteo-format
+// click log (-data) or, by default, from a synthetic teacher model.
+//
+//	train -config model.json -steps 2000 -out model.ckpt
+//	train -data day_0.tsv -config model.json -out model.ckpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"recsys/internal/dataset"
+	"recsys/internal/model"
+	"recsys/internal/stats"
+	"recsys/internal/train"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "JSON model config (default: a compact demo model)")
+		dataPath   = flag.String("data", "", "Criteo-format TSV click log (default: synthetic teacher data)")
+		out        = flag.String("out", "model.ckpt", "checkpoint output path")
+		steps      = flag.Int("steps", 1000, "SGD steps")
+		batch      = flag.Int("batch", 32, "mini-batch size")
+		lr         = flag.Float64("lr", 0.02, "learning rate")
+		optimizer  = flag.String("optimizer", "adagrad", "sgd or adagrad")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		evalEvery  = flag.Int("eval-every", 200, "steps between progress reports")
+	)
+	flag.Parse()
+
+	cfg, err := resolveConfig(*configPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := model.Build(cfg, stats.NewRNG(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var opt train.Optimizer
+	switch *optimizer {
+	case "sgd":
+		opt = train.NewSGD(float32(*lr))
+	case "adagrad":
+		opt = train.NewAdaGrad(float32(*lr))
+	default:
+		log.Fatalf("train: unknown optimizer %q", *optimizer)
+	}
+	trainer := train.NewTrainerWithOptimizer(m, opt)
+
+	next, evaluate, err := dataSource(cfg, *dataPath, *batch, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for step := 1; step <= *steps; step++ {
+		req, labels, err := next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		loss := trainer.Step(req, labels)
+		if step%*evalEvery == 0 || step == *steps {
+			msg := fmt.Sprintf("step %5d  loss %.4f", step, loss)
+			if evaluate != nil {
+				msg += fmt.Sprintf("  held-out AUC %.3f", evaluate(m))
+			}
+			log.Print(msg)
+		}
+	}
+	if err := m.SaveFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote checkpoint %s (%s)", *out, cfg.Name)
+}
+
+func resolveConfig(path string) (model.Config, error) {
+	if path != "" {
+		return model.LoadConfig(path)
+	}
+	return model.Config{
+		Name:        "trained-demo",
+		Class:       model.Custom,
+		DenseIn:     13,
+		BottomMLP:   []int{64, 32, 16},
+		TopMLP:      []int{32, 1},
+		Tables:      model.UniformTables(4, 10_000, 16, 8),
+		Interaction: model.Dot,
+	}, nil
+}
+
+// dataSource returns a batch generator and an optional evaluator.
+func dataSource(cfg model.Config, dataPath string, batch int, seed uint64) (func() (model.Request, []float32, error), func(*model.Model) float64, error) {
+	if dataPath == "" {
+		teacher, err := train.NewTeacher(cfg, seed+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		next := func() (model.Request, []float32, error) {
+			req, labels := teacher.Sample(batch)
+			return req, labels, nil
+		}
+		return next, func(m *model.Model) float64 { return teacher.Evaluate(m, 2000) }, nil
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	enc, err := dataset.NewEncoder(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	reader := dataset.NewReader(f)
+	next := func() (model.Request, []float32, error) {
+		recs := make([]dataset.Record, 0, batch)
+		for len(recs) < batch {
+			rec, err := reader.Next()
+			if err == io.EOF {
+				// Wrap around for multi-epoch training.
+				if _, err := f.Seek(0, io.SeekStart); err != nil {
+					return model.Request{}, nil, err
+				}
+				reader = dataset.NewReader(f)
+				continue
+			}
+			if err != nil {
+				return model.Request{}, nil, err
+			}
+			recs = append(recs, rec)
+		}
+		return enc.Encode(recs)
+	}
+	return next, nil, nil
+}

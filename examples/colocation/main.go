@@ -1,0 +1,57 @@
+// Colocation: capacity-planning a heterogeneous fleet. For each model
+// class and SLA, find the batch size, co-location degree, and server
+// generation that maximize latency-bounded throughput — the scheduling
+// opportunity the paper's §V/§VI analysis exposes.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"recsys"
+)
+
+func main() {
+	machines := recsys.Machines()
+	slas := []time.Duration{
+		1 * time.Millisecond,   // low-latency filtering tier
+		10 * time.Millisecond,  // search-style serving
+		450 * time.Millisecond, // bulk ranking (the paper's Figure 10 bound)
+	}
+
+	for _, cfg := range recsys.Defaults() {
+		fmt.Printf("%s (%.1f GB embeddings)\n", cfg.Name, float64(cfg.EmbeddingBytes())/(1<<30))
+		for _, sla := range slas {
+			plan, ok := recsys.BestMachine(cfg, machines, float64(sla.Microseconds()))
+			if !ok {
+				fmt.Printf("  SLA %-6v: unachievable on any server\n", sla)
+				continue
+			}
+			fmt.Printf("  SLA %-6v: %-9s batch=%-3d tenants=%-2d ht=%-5v -> %7.0f items/s at %s\n",
+				sla, plan.Machine.Name, plan.Batch, plan.Tenants, plan.Hyperthread,
+				plan.Throughput, fmtUS(plan.LatencyUS))
+		}
+		fmt.Println()
+	}
+
+	// The same exercise per machine shows why heterogeneity matters:
+	// the winner flips between Broadwell (tight SLA, small batch) and
+	// Skylake (loose SLA, large batch + heavy co-location).
+	fmt.Println("RMC3 best plan per machine at 10ms SLA:")
+	for _, m := range machines {
+		plan, ok := recsys.Optimize(recsys.RMC3Small(), m, 10_000, nil)
+		if !ok {
+			fmt.Printf("  %-10s unachievable\n", m.Name)
+			continue
+		}
+		fmt.Printf("  %-10s batch=%-3d tenants=%-2d -> %7.0f items/s\n",
+			m.Name, plan.Batch, plan.Tenants, plan.Throughput)
+	}
+}
+
+func fmtUS(us float64) string {
+	if us >= 1000 {
+		return fmt.Sprintf("%.2fms", us/1000)
+	}
+	return fmt.Sprintf("%.0fµs", us)
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a recommendation model, rank a batch of posts with
+// a real forward pass, then ask the performance simulator what the same
+// inference costs on each data-center server generation.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"recsys"
+)
+
+func main() {
+	// RMC1 is the lightweight filtering model of the paper's Table I.
+	// Scaled(10) shrinks its embedding tables 10× so the quickstart
+	// allocates a few MB instead of tens.
+	cfg := recsys.RMC1Small().Scaled(10)
+	rng := recsys.NewRNG(42)
+
+	m, err := recsys.Build(cfg, rng)
+	if err != nil {
+		panic(err)
+	}
+
+	// Rank 8 candidate posts for one user: each sample carries dense
+	// features (user age, counters, ...) and multi-hot sparse features
+	// (page IDs, categories, ...) that hit the embedding tables.
+	const batch = 8
+	req := recsys.NewRandomRequest(cfg, batch, rng)
+	ctr := m.CTR(req)
+
+	type post struct {
+		id  int
+		ctr float32
+	}
+	posts := make([]post, batch)
+	for i, p := range ctr {
+		posts[i] = post{id: i, ctr: p}
+	}
+	sort.Slice(posts, func(i, j int) bool { return posts[i].ctr > posts[j].ctr })
+
+	fmt.Println("predicted click-through rates (best first):")
+	for _, p := range posts {
+		fmt.Printf("  post %d: %.4f\n", p.id, p.ctr)
+	}
+
+	// What does this inference cost at production scale? The simulator
+	// answers for the full-size config on each Table II server.
+	fmt.Printf("\nsimulated latency of %s at batch %d:\n", recsys.RMC1Small().Name, batch)
+	for _, machine := range recsys.Machines() {
+		mt := recsys.Estimate(recsys.RMC1Small(), recsys.NewPerfContext(machine, batch))
+		fmt.Printf("  %-10s %7.1fµs  (%.0f%% FC, %.0f%% SparseLengthsSum)\n",
+			machine.Name, mt.TotalUS,
+			100*mt.KindFraction(recsys.KindFC, recsys.KindBatchMM),
+			100*mt.KindFraction(recsys.KindSLS))
+	}
+}

@@ -1,0 +1,3 @@
+module recsys
+
+go 1.22

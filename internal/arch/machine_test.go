@@ -1,0 +1,206 @@
+package arch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestTableII checks the machine descriptions against the paper's
+// Table II verbatim.
+func TestTableII(t *testing.T) {
+	hsw, bdw, skl := Haswell(), Broadwell(), Skylake()
+
+	if hsw.FreqGHz != 2.5 || bdw.FreqGHz != 2.4 || skl.FreqGHz != 2.0 {
+		t.Error("frequencies do not match Table II")
+	}
+	if hsw.CoresPerSocket != 12 || bdw.CoresPerSocket != 14 || skl.CoresPerSocket != 20 {
+		t.Error("core counts do not match Table II")
+	}
+	for _, m := range Machines() {
+		if m.Sockets != 2 {
+			t.Errorf("%s: sockets = %d, want 2", m.Name, m.Sockets)
+		}
+		if m.L1.SizeBytes != 32<<10 {
+			t.Errorf("%s: L1 = %d, want 32KB", m.Name, m.L1.SizeBytes)
+		}
+		if m.DRAMCapBytes != 256<<30 {
+			t.Errorf("%s: DRAM capacity = %d, want 256GB", m.Name, m.DRAMCapBytes)
+		}
+	}
+	if hsw.SIMD != AVX2 || bdw.SIMD != AVX2 || skl.SIMD != AVX512 {
+		t.Error("SIMD ISAs do not match Table II")
+	}
+	if hsw.L2.SizeBytes != 256<<10 || bdw.L2.SizeBytes != 256<<10 || skl.L2.SizeBytes != 1<<20 {
+		t.Error("L2 sizes do not match Table II")
+	}
+	if hsw.L3.SizeBytes != 30<<20 || bdw.L3.SizeBytes != 35<<20 || skl.L3.SizeBytes != 27<<20+512<<10 {
+		t.Error("L3 sizes do not match Table II")
+	}
+	if !hsw.L3Inclusive || !bdw.L3Inclusive || skl.L3Inclusive {
+		t.Error("inclusivity does not match Table II")
+	}
+	if hsw.DDRType != "DDR3" || bdw.DDRType != "DDR4" || skl.DDRType != "DDR4" {
+		t.Error("DDR types do not match Table II")
+	}
+	if hsw.DDRFreqMHz != 1600 || bdw.DDRFreqMHz != 2400 || skl.DDRFreqMHz != 2666 {
+		t.Error("DDR frequencies do not match Table II")
+	}
+	if hsw.DRAMBWGBs != 51 || bdw.DRAMBWGBs != 77 || skl.DRAMBWGBs != 85 {
+		t.Error("DRAM bandwidths do not match Table II")
+	}
+	if hsw.TotalCores() != 24 || bdw.TotalCores() != 28 || skl.TotalCores() != 40 {
+		t.Error("total core counts wrong")
+	}
+}
+
+func TestISA(t *testing.T) {
+	if AVX2.VectorLanes() != 8 || AVX512.VectorLanes() != 16 {
+		t.Error("vector lanes wrong")
+	}
+	if AVX2.String() != "AVX-2" || AVX512.String() != "AVX-512" {
+		t.Error("ISA names wrong")
+	}
+	if ISA(9).String() != "ISA(9)" {
+		t.Error("unknown ISA formatting wrong")
+	}
+}
+
+func TestPeakFLOPs(t *testing.T) {
+	bdw := Broadwell()
+	// AVX-2: 8 lanes × 2 FMA × 2 = 32 FLOPs/cycle.
+	if bdw.PeakFLOPsPerCycle() != 32 {
+		t.Errorf("BDW FLOPs/cycle = %v, want 32", bdw.PeakFLOPsPerCycle())
+	}
+	skl := Skylake()
+	if skl.PeakFLOPsPerCycle() != 64 {
+		t.Errorf("SKL FLOPs/cycle = %v, want 64", skl.PeakFLOPsPerCycle())
+	}
+	if math.Abs(bdw.PeakGFLOPs()-76.8) > 1e-9 {
+		t.Errorf("BDW peak GFLOP/s = %v, want 76.8", bdw.PeakGFLOPs())
+	}
+}
+
+// TestSIMDUtilMeasurements reproduces the §V SIMD-throughput
+// measurement: on AVX-512, batch-4 throughput is ~2.9× batch-1 and
+// batch-16 is ~14.5× batch-1.
+func TestSIMDUtilMeasurements(t *testing.T) {
+	skl := Skylake()
+	u1 := skl.SIMDUtil.At(1)
+	u4 := skl.SIMDUtil.At(4)
+	u16 := skl.SIMDUtil.At(16)
+	if r := u4 / u1; math.Abs(r-2.9) > 0.1 {
+		t.Errorf("AVX-512 batch-4 speedup = %.2f, paper reports 2.9", r)
+	}
+	if r := u16 / u1; math.Abs(r-14.5) > 0.5 {
+		t.Errorf("AVX-512 batch-16 speedup = %.2f, paper reports 14.5", r)
+	}
+}
+
+func TestUtilCurveMonotone(t *testing.T) {
+	for _, m := range Machines() {
+		prev := 0.0
+		for batch := 1; batch <= 1024; batch *= 2 {
+			u := m.SIMDUtil.At(batch)
+			if u < prev {
+				t.Errorf("%s: utilization decreased at batch %d: %v < %v", m.Name, batch, u, prev)
+			}
+			if u <= 0 || u > 1 {
+				t.Errorf("%s: utilization out of (0,1] at batch %d: %v", m.Name, batch, u)
+			}
+			prev = u
+		}
+	}
+}
+
+func TestUtilCurveClamping(t *testing.T) {
+	c := UtilCurve{Points: []UtilPoint{{4, 0.2}, {16, 0.8}}}
+	if c.At(1) != 0.2 || c.At(0) != 0.2 || c.At(-3) != 0.2 {
+		t.Error("low-batch clamp wrong")
+	}
+	if c.At(64) != 0.8 {
+		t.Error("high-batch clamp wrong")
+	}
+	mid := c.At(8)
+	if mid <= 0.2 || mid >= 0.8 {
+		t.Errorf("interpolated value %v outside (0.2, 0.8)", mid)
+	}
+}
+
+func TestUtilCurveInterpolationProperty(t *testing.T) {
+	c := Skylake().SIMDUtil
+	f := func(b uint8) bool {
+		batch := 1 + int(b)
+		u := c.At(batch)
+		return u >= c.At(1) && u <= c.At(100000)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilCurveEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty curve should panic")
+		}
+	}()
+	UtilCurve{}.At(4)
+}
+
+// TestBatch1EffectiveFLOPs checks the calibration behind Takeaway 3:
+// at unit batch Broadwell sustains more FLOP/s than Skylake (higher
+// clock, and AVX-512 is badly underutilized), so compute-bound models
+// run fastest on Broadwell.
+func TestBatch1EffectiveFLOPs(t *testing.T) {
+	bdw, skl, hsw := Broadwell(), Skylake(), Haswell()
+	rBS := bdw.EffectiveGFLOPs(1) / skl.EffectiveGFLOPs(1)
+	if rBS < 1.3 || rBS > 2.7 {
+		t.Errorf("batch-1 BDW/SKL sustained FLOPs = %.2f, want well above 1", rBS)
+	}
+	// At batch 16 the ratio matches the paper's RMC3 measurement (1.65×).
+	r16 := bdw.EffectiveGFLOPs(16) / skl.EffectiveGFLOPs(16)
+	if r16 < 1.4 || r16 > 1.9 {
+		t.Errorf("batch-16 BDW/SKL sustained FLOPs = %.2f, want ~1.65 (paper RMC3)", r16)
+	}
+	rBH := bdw.EffectiveGFLOPs(1) / hsw.EffectiveGFLOPs(1)
+	if rBH < 1.05 || rBH > 1.8 {
+		t.Errorf("batch-1 BDW/HSW sustained FLOPs = %.2f, want ~1.3", rBH)
+	}
+}
+
+// TestHighBatchCrossover checks that Skylake's AVX-512 overtakes
+// Broadwell for compute-bound work at batch ≈ 64 (§V Takeaway 4).
+func TestHighBatchCrossover(t *testing.T) {
+	bdw, skl := Broadwell(), Skylake()
+	if bdw.EffectiveGFLOPs(16) <= skl.EffectiveGFLOPs(16) {
+		t.Error("at batch 16 Broadwell should still lead (paper Fig. 8)")
+	}
+	if skl.EffectiveGFLOPs(128) <= bdw.EffectiveGFLOPs(128) {
+		t.Error("at batch 128 Skylake should lead via AVX-512")
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("Skylake")
+	if err != nil || m.Name != "Skylake" {
+		t.Errorf("ByName(Skylake) = %v, %v", m.Name, err)
+	}
+	if _, err := ByName("EPYC"); err == nil {
+		t.Error("ByName should fail for unknown machines")
+	}
+}
+
+func TestDRAMCalibrationOrdering(t *testing.T) {
+	hsw, bdw, skl := Haswell(), Broadwell(), Skylake()
+	// DDR3 Haswell must have the worst random-access bandwidth; this is
+	// what makes its SparseLengthsSum slower (§V Takeaway 3). Broadwell
+	// leads Skylake, whose mesh adds random-access latency — this is why
+	// Broadwell wins the memory-bound models at batch 16 (Figure 8).
+	if !(hsw.RandomBWGBs < skl.RandomBWGBs && skl.RandomBWGBs < bdw.RandomBWGBs) {
+		t.Error("random-access bandwidth ordering should be HSW < SKL < BDW")
+	}
+	if !(hsw.DRAMLatencyNs > bdw.DRAMLatencyNs) {
+		t.Error("DDR3 latency should exceed DDR4")
+	}
+}

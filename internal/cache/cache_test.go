@@ -1,0 +1,227 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"recsys/internal/stats"
+)
+
+func TestNewGeometry(t *testing.T) {
+	c := New("t", 32<<10, 8) // 32KB, 8-way, 64B lines → 64 sets
+	if c.Sets() != 64 || c.Ways() != 8 || c.SizeBytes() != 32<<10 {
+		t.Fatalf("geometry sets=%d ways=%d size=%d", c.Sets(), c.Ways(), c.SizeBytes())
+	}
+	if c.Name() != "t" {
+		t.Error("name wrong")
+	}
+}
+
+func TestNewRoundsToPowerOfTwoSets(t *testing.T) {
+	// 27.5MB 11-way: 27.5<<20/64/11 = 40960 sets → rounds down to 32768.
+	c := New("skl-l3", 27<<20+512<<10, 11)
+	if c.Sets() != 32768 {
+		t.Fatalf("sets = %d, want 32768", c.Sets())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New("x", 1024, 0) },
+		func() { New("x", 0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid cache construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLookupInsertBasic(t *testing.T) {
+	c := New("t", 4096, 4) // 16 sets
+	line := uint64(0x1000)
+	if c.Lookup(line) {
+		t.Fatal("cold lookup should miss")
+	}
+	c.Insert(line)
+	if !c.Lookup(line) {
+		t.Fatal("inserted line should hit")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1,1", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New("t", 256, 4) // 1 set, 4 ways
+	if c.Sets() != 1 {
+		t.Fatalf("want single set, got %d", c.Sets())
+	}
+	for i := uint64(0); i < 4; i++ {
+		if _, ev := c.Insert(i); ev {
+			t.Fatal("no eviction expected while filling")
+		}
+	}
+	// Touch line 0 so it becomes MRU; inserting line 4 must evict the
+	// LRU, which is now line 1.
+	c.Lookup(0)
+	victim, ev := c.Insert(4)
+	if !ev || victim != 1 {
+		t.Fatalf("victim = %d (evicted=%v), want 1", victim, ev)
+	}
+	if !c.Contains(0) || c.Contains(1) || !c.Contains(4) {
+		t.Error("post-eviction contents wrong")
+	}
+}
+
+func TestInsertExistingRefreshes(t *testing.T) {
+	c := New("t", 256, 4)
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(i)
+	}
+	c.Insert(0) // refresh, no eviction
+	victim, ev := c.Insert(9)
+	if !ev || victim != 1 {
+		t.Fatalf("victim = %d, want 1 after refresh of 0", victim)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New("t", 256, 4)
+	c.Insert(5)
+	if !c.Invalidate(5) {
+		t.Fatal("invalidate of present line should report true")
+	}
+	if c.Invalidate(5) {
+		t.Fatal("invalidate of absent line should report false")
+	}
+	if c.Contains(5) {
+		t.Fatal("line survived invalidation")
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := New("t", 256, 4)
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(i)
+	}
+	c.Contains(0) // must NOT refresh LRU
+	victim, _ := c.Insert(9)
+	if victim != 0 {
+		t.Fatalf("victim = %d; Contains appears to update LRU", victim)
+	}
+	h, m := c.Hits(), c.Misses()
+	c.Contains(9)
+	if c.Hits() != h || c.Misses() != m {
+		t.Error("Contains changed counters")
+	}
+}
+
+func TestFlushAndResetStats(t *testing.T) {
+	c := New("t", 256, 4)
+	c.Insert(1)
+	c.Lookup(1)
+	c.Lookup(2)
+	c.ResetStats()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("ResetStats failed")
+	}
+	if !c.Contains(1) {
+		t.Fatal("ResetStats should not flush contents")
+	}
+	c.Flush()
+	if c.Contains(1) {
+		t.Fatal("Flush should drop contents")
+	}
+}
+
+// Property: cache occupancy never exceeds sets × ways, and a line just
+// inserted is always resident.
+func TestCacheInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		c := New("t", 4096, 2+r.Intn(6))
+		for i := 0; i < 2000; i++ {
+			line := uint64(r.Intn(10000))
+			if !c.Lookup(line) {
+				c.Insert(line)
+			}
+			if !c.Contains(line) {
+				return false
+			}
+		}
+		occupied := 0
+		for s := 0; s < c.Sets(); s++ {
+			for _, l := range c.lines[s] {
+				if int(l&c.setMask) != s {
+					return false // line in wrong set
+				}
+				occupied++
+			}
+		}
+		return occupied <= c.Sets()*c.Ways()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hits + misses == number of Lookup calls.
+func TestCountersConsistent(t *testing.T) {
+	r := stats.NewRNG(3)
+	c := New("t", 2048, 4)
+	n := 5000
+	for i := 0; i < n; i++ {
+		line := uint64(r.Intn(500))
+		if !c.Lookup(line) {
+			c.Insert(line)
+		}
+	}
+	if int(c.Hits()+c.Misses()) != n {
+		t.Fatalf("hits+misses = %d, want %d", c.Hits()+c.Misses(), n)
+	}
+}
+
+func TestWorkingSetFitsAllHits(t *testing.T) {
+	c := New("t", 64<<10, 8) // 64KB: holds 1024 lines
+	// Touch 256 distinct lines twice; second pass must be all hits.
+	for pass := 0; pass < 2; pass++ {
+		for i := uint64(0); i < 256; i++ {
+			if !c.Lookup(i) {
+				c.Insert(i)
+			}
+		}
+	}
+	if c.Misses() != 256 {
+		t.Errorf("misses = %d, want 256 (cold only)", c.Misses())
+	}
+	if c.Hits() != 256 {
+		t.Errorf("hits = %d, want 256", c.Hits())
+	}
+}
+
+func TestStreamLargerThanCacheAllMisses(t *testing.T) {
+	c := New("t", 4096, 4) // 64 lines
+	// Stream 1000 distinct lines twice with a stride wider than the
+	// cache: LRU guarantees zero reuse.
+	for pass := 0; pass < 2; pass++ {
+		for i := uint64(0); i < 1000; i++ {
+			if !c.Lookup(i) {
+				c.Insert(i)
+			}
+		}
+	}
+	if c.Hits() != 0 {
+		t.Errorf("hits = %d, want 0 for a thrashing stream", c.Hits())
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0) != 0 || LineAddr(63) != 0 || LineAddr(64) != 1 || LineAddr(130) != 2 {
+		t.Error("LineAddr arithmetic wrong")
+	}
+}

@@ -1,0 +1,152 @@
+// Package capacity provisions a heterogeneous server fleet for a mix of
+// recommendation services — the data-center scheduling opportunity the
+// paper's introduction calls out ("maximize latency-bounded throughput
+// by exploiting server heterogeneity when scheduling inference
+// requests"): low-latency services belong on high-frequency Broadwell,
+// throughput services on wide-SIMD Skylake, and the optimal assignment
+// depends on each service's SLA and model class.
+package capacity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"recsys/internal/arch"
+	"recsys/internal/model"
+	"recsys/internal/sched"
+)
+
+// Demand is one service to provision.
+type Demand struct {
+	Name string
+	// Model is the service's recommendation model.
+	Model model.Config
+	// ItemsPerSec is the required ranking throughput (user-item pairs).
+	ItemsPerSec float64
+	// SLAUS is the service's latency bound in microseconds.
+	SLAUS float64
+}
+
+// Allocation is one service's placement.
+type Allocation struct {
+	Service string
+	Machine string
+	// Plan is the per-socket operating point (batch, tenants).
+	Plan sched.Plan
+	// Sockets is how many sockets of that machine the service needs.
+	Sockets int
+}
+
+// Result is a complete fleet plan.
+type Result struct {
+	Allocations      []Allocation
+	SocketsByMachine map[string]int
+	TotalSockets     int
+}
+
+// Plan provisions every demand on the machine type that serves it with
+// the fewest sockets, subject to the per-type socket inventory
+// (negative inventory = unlimited). Demands are processed largest
+// first; it returns an error if a demand cannot meet its SLA on any
+// available machine.
+func Plan(demands []Demand, machines []arch.Machine, inventory map[string]int) (Result, error) {
+	if len(demands) == 0 {
+		return Result{}, fmt.Errorf("capacity: no demands")
+	}
+	if len(machines) == 0 {
+		return Result{}, fmt.Errorf("capacity: no machine types")
+	}
+	remaining := make(map[string]int, len(inventory))
+	for k, v := range inventory {
+		remaining[k] = v
+	}
+	avail := func(name string) int {
+		v, ok := remaining[name]
+		if !ok {
+			return 0
+		}
+		if v < 0 {
+			return math.MaxInt32
+		}
+		return v
+	}
+
+	// Largest demands first so scarce efficient machines go where they
+	// matter most.
+	order := make([]int, len(demands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return demands[order[a]].ItemsPerSec > demands[order[b]].ItemsPerSec
+	})
+
+	res := Result{SocketsByMachine: make(map[string]int)}
+	for _, di := range order {
+		d := demands[di]
+		if d.ItemsPerSec <= 0 || d.SLAUS <= 0 {
+			return Result{}, fmt.Errorf("capacity: service %s needs positive demand and SLA", d.Name)
+		}
+		best, ok := bestAllocation(d, machines, avail)
+		if !ok {
+			return Result{}, fmt.Errorf("capacity: service %s cannot meet its %.0fµs SLA within inventory", d.Name, d.SLAUS)
+		}
+		if remaining[best.Machine] >= 0 {
+			remaining[best.Machine] -= best.Sockets
+		}
+		res.Allocations = append(res.Allocations, best)
+		res.SocketsByMachine[best.Machine] += best.Sockets
+		res.TotalSockets += best.Sockets
+	}
+	// Restore input order for readability.
+	sort.Slice(res.Allocations, func(a, b int) bool { return res.Allocations[a].Service < res.Allocations[b].Service })
+	return res, nil
+}
+
+func bestAllocation(d Demand, machines []arch.Machine, avail func(string) int) (Allocation, bool) {
+	var best Allocation
+	found := false
+	for _, m := range machines {
+		plan, ok := sched.Optimize(d.Model, m, d.SLAUS, nil)
+		if !ok {
+			continue
+		}
+		sockets := int(math.Ceil(d.ItemsPerSec / plan.Throughput))
+		if sockets <= 0 {
+			sockets = 1
+		}
+		if sockets > avail(m.Name) {
+			continue
+		}
+		if !found || sockets < best.Sockets {
+			best = Allocation{Service: d.Name, Machine: m.Name, Plan: plan, Sockets: sockets}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// HomogeneousSockets returns the sockets needed to serve every demand
+// on a single machine type (the baseline heterogeneity is compared
+// against), or ok=false if some demand cannot meet its SLA there.
+func HomogeneousSockets(demands []Demand, m arch.Machine) (int, bool) {
+	total := 0
+	for _, d := range demands {
+		plan, ok := sched.Optimize(d.Model, m, d.SLAUS, nil)
+		if !ok {
+			return 0, false
+		}
+		total += int(math.Ceil(d.ItemsPerSec / plan.Throughput))
+	}
+	return total, true
+}
+
+// Unlimited is an inventory with no limits on any machine type.
+func Unlimited(machines []arch.Machine) map[string]int {
+	inv := make(map[string]int, len(machines))
+	for _, m := range machines {
+		inv[m.Name] = -1
+	}
+	return inv
+}

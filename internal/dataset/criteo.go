@@ -1,0 +1,222 @@
+// Package dataset turns click-log records into model inputs. The
+// supported format is the Criteo display-advertising log the paper
+// points at for instrumenting the benchmark ("the recommendation model
+// implementation can be instrumented with open-source data sets [3]"):
+// tab-separated lines of
+//
+//	label ⟨13 integer features⟩ ⟨26 hexadecimal categorical features⟩
+//
+// Integer features are log-transformed into the dense vector;
+// categorical features are hashed into per-table row IDs. Missing
+// fields are tolerated (zero / hash of empty).
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"recsys/internal/model"
+	"recsys/internal/stats"
+	"recsys/internal/tensor"
+)
+
+// CriteoDense is the number of integer features per record.
+const CriteoDense = 13
+
+// CriteoCategorical is the number of categorical features per record.
+const CriteoCategorical = 26
+
+// Record is one parsed click-log line.
+type Record struct {
+	Label int // 0 or 1
+	// Dense holds the log-transformed integer features.
+	Dense [CriteoDense]float32
+	// Categorical holds the raw categorical tokens ("" if missing).
+	Categorical [CriteoCategorical]string
+}
+
+// ParseLine parses one Criteo TSV line.
+func ParseLine(line string) (Record, error) {
+	fields := strings.Split(line, "\t")
+	if len(fields) != 1+CriteoDense+CriteoCategorical {
+		return Record{}, fmt.Errorf("dataset: %d fields, want %d", len(fields), 1+CriteoDense+CriteoCategorical)
+	}
+	var r Record
+	switch fields[0] {
+	case "0":
+		r.Label = 0
+	case "1":
+		r.Label = 1
+	default:
+		return Record{}, fmt.Errorf("dataset: bad label %q", fields[0])
+	}
+	for i := 0; i < CriteoDense; i++ {
+		f := fields[1+i]
+		if f == "" {
+			continue // missing → 0
+		}
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("dataset: integer feature %d: %w", i, err)
+		}
+		// Standard Criteo preprocessing: log(1+x), negatives clamped.
+		if v < 0 {
+			v = 0
+		}
+		r.Dense[i] = float32(math.Log1p(float64(v)))
+	}
+	copy(r.Categorical[:], fields[1+CriteoDense:])
+	return r, nil
+}
+
+// Reader streams records from a Criteo TSV stream, skipping blank
+// lines.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader wraps an io.Reader of Criteo TSV data.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next record, or io.EOF when exhausted.
+func (r *Reader) Next() (Record, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimRight(r.sc.Text(), "\r\n")
+		if line == "" {
+			continue
+		}
+		rec, err := ParseLine(line)
+		if err != nil {
+			return Record{}, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		return rec, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Record{}, err
+	}
+	return Record{}, io.EOF
+}
+
+// Encoder maps records onto a model's input shapes: the 13 dense
+// features feed the dense path (truncated or zero-padded to DenseIn),
+// and each categorical feature is feature-hashed into the model's
+// tables round-robin, repeated to fill the per-table lookup count.
+type Encoder struct {
+	cfg model.Config
+}
+
+// NewEncoder builds an encoder for the config. The config must have at
+// least one embedding table.
+func NewEncoder(cfg model.Config) (*Encoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Tables) == 0 {
+		return nil, fmt.Errorf("dataset: config %s has no embedding tables", cfg.Name)
+	}
+	return &Encoder{cfg: cfg}, nil
+}
+
+// Encode converts a batch of records into a model request and labels.
+func (e *Encoder) Encode(recs []Record) (model.Request, []float32, error) {
+	if len(recs) == 0 {
+		return model.Request{}, nil, fmt.Errorf("dataset: empty batch")
+	}
+	batch := len(recs)
+	req := model.Request{Batch: batch}
+	if e.cfg.DenseIn > 0 {
+		req.Dense = tensor.New(batch, e.cfg.DenseIn)
+		for b, rec := range recs {
+			row := req.Dense.Row(b)
+			for i := 0; i < e.cfg.DenseIn && i < CriteoDense; i++ {
+				row[i] = rec.Dense[i]
+			}
+		}
+	}
+	labels := make([]float32, batch)
+	for b, rec := range recs {
+		labels[b] = float32(rec.Label)
+	}
+	nt := len(e.cfg.Tables)
+	req.SparseIDs = make([][]int, nt)
+	for ti, tab := range e.cfg.Tables {
+		ids := make([]int, 0, batch*tab.Lookups)
+		for _, rec := range recs {
+			ids = append(ids, e.tableIDs(rec, ti, tab)...)
+		}
+		req.SparseIDs[ti] = ids
+	}
+	return req, labels, nil
+}
+
+// tableIDs hashes the categorical features assigned to table ti
+// (round-robin over the 26 features) into Lookups row IDs.
+func (e *Encoder) tableIDs(rec Record, ti int, tab model.TableSpec) []int {
+	ids := make([]int, 0, tab.Lookups)
+	nt := len(e.cfg.Tables)
+	// Features ti, ti+nt, ti+2nt, ... belong to this table.
+	var feats []int
+	for f := ti; f < CriteoCategorical; f += nt {
+		feats = append(feats, f)
+	}
+	if len(feats) == 0 {
+		feats = []int{ti % CriteoCategorical}
+	}
+	for k := 0; len(ids) < tab.Lookups; k++ {
+		f := feats[k%len(feats)]
+		ids = append(ids, hashToken(rec.Categorical[f], ti, k, tab.Rows))
+	}
+	return ids
+}
+
+// hashToken feature-hashes one categorical token into [0, rows).
+func hashToken(token string, table, salt, rows int) int {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d:%d:%s", table, salt/CriteoCategorical, token)
+	return int(h.Sum64() % uint64(rows))
+}
+
+// SyntheticLines generates n well-formed Criteo-format lines with a
+// Zipf-skewed categorical vocabulary — for tests and offline demos
+// where the real dataset is unavailable.
+func SyntheticLines(n int, seed uint64) []string {
+	rng := stats.NewRNG(seed)
+	zipf := stats.NewZipf(rng.Split(), 10_000, 1.1)
+	lines := make([]string, n)
+	var b strings.Builder
+	for i := range lines {
+		b.Reset()
+		if rng.Float64() < 0.25 {
+			b.WriteString("1")
+		} else {
+			b.WriteString("0")
+		}
+		for d := 0; d < CriteoDense; d++ {
+			b.WriteByte('\t')
+			if rng.Float64() < 0.1 {
+				continue // missing
+			}
+			fmt.Fprintf(&b, "%d", rng.Intn(1000))
+		}
+		for c := 0; c < CriteoCategorical; c++ {
+			b.WriteByte('\t')
+			if rng.Float64() < 0.05 {
+				continue // missing
+			}
+			fmt.Fprintf(&b, "%08x", zipf.Next()*31+int64(c))
+		}
+		lines[i] = b.String()
+	}
+	return lines
+}

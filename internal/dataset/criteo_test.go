@@ -1,0 +1,249 @@
+package dataset
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"recsys/internal/model"
+	"recsys/internal/stats"
+	"recsys/internal/train"
+)
+
+func validLine() string {
+	fields := []string{"1"}
+	for i := 0; i < CriteoDense; i++ {
+		fields = append(fields, "5")
+	}
+	for i := 0; i < CriteoCategorical; i++ {
+		fields = append(fields, "deadbeef")
+	}
+	return strings.Join(fields, "\t")
+}
+
+func TestParseLine(t *testing.T) {
+	rec, err := ParseLine(validLine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Label != 1 {
+		t.Errorf("label %d", rec.Label)
+	}
+	want := float32(math.Log1p(5))
+	for i, v := range rec.Dense {
+		if v != want {
+			t.Fatalf("dense[%d] = %v, want %v", i, v, want)
+		}
+	}
+	if rec.Categorical[0] != "deadbeef" || rec.Categorical[25] != "deadbeef" {
+		t.Error("categoricals wrong")
+	}
+}
+
+func TestParseLineMissingFields(t *testing.T) {
+	fields := []string{"0"}
+	for i := 0; i < CriteoDense+CriteoCategorical; i++ {
+		fields = append(fields, "")
+	}
+	rec, err := ParseLine(strings.Join(fields, "\t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rec.Dense {
+		if v != 0 {
+			t.Fatal("missing dense should be 0")
+		}
+	}
+}
+
+func TestParseLineNegativeClamped(t *testing.T) {
+	fields := []string{"0", "-3"}
+	for i := 1; i < CriteoDense; i++ {
+		fields = append(fields, "0")
+	}
+	for i := 0; i < CriteoCategorical; i++ {
+		fields = append(fields, "x")
+	}
+	rec, err := ParseLine(strings.Join(fields, "\t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Dense[0] != 0 {
+		t.Errorf("negative feature should clamp to log1p(0)=0, got %v", rec.Dense[0])
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	cases := map[string]string{
+		"few fields": "1\t2\t3",
+		"bad label":  strings.Replace(validLine(), "1", "7", 1),
+		"bad int":    strings.Replace(validLine(), "\t5\t", "\tfive\t", 1),
+	}
+	for name, line := range cases {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReader(t *testing.T) {
+	lines := SyntheticLines(5, 1)
+	input := strings.Join(lines, "\n") + "\n\n" + lines[0] + "\n"
+	r := NewReader(strings.NewReader(input))
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 6 {
+		t.Errorf("read %d records, want 6 (blank line skipped)", n)
+	}
+}
+
+func TestReaderReportsLineNumbers(t *testing.T) {
+	r := NewReader(strings.NewReader("garbage line\n"))
+	_, err := r.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error should carry line number: %v", err)
+	}
+}
+
+func TestSyntheticLinesParse(t *testing.T) {
+	for i, line := range SyntheticLines(200, 7) {
+		if _, err := ParseLine(line); err != nil {
+			t.Fatalf("synthetic line %d invalid: %v", i, err)
+		}
+	}
+	// Determinism.
+	a := SyntheticLines(10, 3)
+	b := SyntheticLines(10, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("synthetic lines not deterministic")
+		}
+	}
+}
+
+func TestEncoder(t *testing.T) {
+	cfg := model.RMC1Small().Scaled(10)
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for _, line := range SyntheticLines(8, 2) {
+		rec, err := ParseLine(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	req, labels, err := enc.Encode(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Batch != 8 || len(labels) != 8 {
+		t.Fatalf("batch %d labels %d", req.Batch, len(labels))
+	}
+	if req.Dense.Dim(1) != cfg.DenseIn {
+		t.Error("dense width wrong")
+	}
+	for ti, tab := range cfg.Tables {
+		if len(req.SparseIDs[ti]) != 8*tab.Lookups {
+			t.Fatalf("table %d IDs %d, want %d", ti, len(req.SparseIDs[ti]), 8*tab.Lookups)
+		}
+		for _, id := range req.SparseIDs[ti] {
+			if id < 0 || id >= tab.Rows {
+				t.Fatalf("table %d ID %d out of range", ti, id)
+			}
+		}
+	}
+	// The encoded request must be runnable.
+	m, err := model.Build(cfg, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := m.CTR(req)
+	if len(ctr) != 8 {
+		t.Fatal("encoded request not servable")
+	}
+}
+
+func TestEncoderDeterministicHashing(t *testing.T) {
+	cfg := model.RMC1Small().Scaled(10)
+	enc, _ := NewEncoder(cfg)
+	rec, _ := ParseLine(validLine())
+	a, _, _ := enc.Encode([]Record{rec})
+	b, _, _ := enc.Encode([]Record{rec})
+	for ti := range a.SparseIDs {
+		for i := range a.SparseIDs[ti] {
+			if a.SparseIDs[ti][i] != b.SparseIDs[ti][i] {
+				t.Fatal("feature hashing not deterministic")
+			}
+		}
+	}
+}
+
+func TestEncoderErrors(t *testing.T) {
+	if _, err := NewEncoder(model.Config{Name: "bad"}); err == nil {
+		t.Error("invalid config should error")
+	}
+	noTables := model.Config{
+		Name: "dense-only", Class: model.Custom,
+		DenseIn: 4, BottomMLP: []int{8, 4}, TopMLP: []int{4, 1},
+	}
+	if _, err := NewEncoder(noTables); err == nil {
+		t.Error("table-less config should error")
+	}
+	enc, _ := NewEncoder(model.RMC1Small().Scaled(10))
+	if _, _, err := enc.Encode(nil); err == nil {
+		t.Error("empty batch should error")
+	}
+}
+
+// TestTrainOnCriteoFormat: end-to-end — parse synthetic click logs,
+// encode, and train; loss must fall.
+func TestTrainOnCriteoFormat(t *testing.T) {
+	cfg := model.Config{
+		Name: "criteo-model", Class: model.Custom,
+		DenseIn:     13,
+		BottomMLP:   []int{32, 16},
+		TopMLP:      []int{16, 1},
+		Tables:      model.UniformTables(4, 5000, 8, 4),
+		Interaction: model.Cat,
+	}
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.Build(cfg, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := train.NewTrainer(m, 0.05)
+
+	var recs []Record
+	for _, line := range SyntheticLines(64, 9) {
+		rec, _ := ParseLine(line)
+		recs = append(recs, rec)
+	}
+	req, labels, err := enc.Encode(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.Step(req, labels)
+	var last float32
+	for i := 0; i < 120; i++ {
+		last = tr.Step(req, labels)
+	}
+	if last >= first {
+		t.Errorf("loss did not fall on Criteo-format data: %.4f -> %.4f", first, last)
+	}
+}

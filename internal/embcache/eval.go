@@ -1,0 +1,80 @@
+package embcache
+
+import (
+	"fmt"
+
+	"recsys/internal/trace"
+)
+
+// HitRate streams n IDs from the generator through the policy and
+// returns the fraction of hits.
+func HitRate(p Policy, g trace.IDGenerator, n int) float64 {
+	if n <= 0 {
+		panic("embcache: sample size must be positive")
+	}
+	ids := make([]int, n)
+	g.Fill(ids)
+	hits := 0
+	for _, id := range ids {
+		if p.Access(uint64(id)) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// SweepPoint is one (cache size, hit rate) measurement.
+type SweepPoint struct {
+	// CapacityFrac is the cache capacity as a fraction of the table.
+	CapacityFrac float64
+	HitRate      float64
+}
+
+// Sweep measures hit rate across cache sizes, expressed as fractions of
+// the generator's table height, with n lookups per point (after a
+// warmup of n/4 lookups).
+func Sweep(mk func(capacity int) Policy, g trace.IDGenerator, fracs []float64, n int) []SweepPoint {
+	var out []SweepPoint
+	for _, f := range fracs {
+		capacity := int(f * float64(g.Rows()))
+		if capacity < 1 {
+			capacity = 1
+		}
+		p := mk(capacity)
+		warm := make([]int, n/4)
+		g.Fill(warm)
+		for _, id := range warm {
+			p.Access(uint64(id))
+		}
+		out = append(out, SweepPoint{CapacityFrac: f, HitRate: HitRate(p, g, n)})
+	}
+	return out
+}
+
+// TieredStore models the Eisenman et al. [25] configuration the paper
+// cites: a DRAM row cache in front of dense non-volatile memory.
+type TieredStore struct {
+	// DRAMLatencyNs and NVMLatencyNs are per-row access latencies.
+	DRAMLatencyNs, NVMLatencyNs float64
+}
+
+// DefaultTieredStore returns DRAM at 90ns and first-generation NVM at
+// 1.5µs per row read.
+func DefaultTieredStore() TieredStore {
+	return TieredStore{DRAMLatencyNs: 90, NVMLatencyNs: 1500}
+}
+
+// AvgGatherNs returns the expected per-row gather latency at the given
+// DRAM-cache hit rate.
+func (s TieredStore) AvgGatherNs(hitRate float64) float64 {
+	if hitRate < 0 || hitRate > 1 {
+		panic(fmt.Sprintf("embcache: hit rate %v out of [0,1]", hitRate))
+	}
+	return hitRate*s.DRAMLatencyNs + (1-hitRate)*s.NVMLatencyNs
+}
+
+// Speedup returns the gather speedup of a cached tiered store versus
+// uncached NVM at the given hit rate.
+func (s TieredStore) Speedup(hitRate float64) float64 {
+	return s.NVMLatencyNs / s.AvgGatherNs(hitRate)
+}

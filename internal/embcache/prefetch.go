@@ -1,0 +1,131 @@
+package embcache
+
+import (
+	"fmt"
+	"sort"
+
+	"recsys/internal/trace"
+)
+
+// Software prefetching for SparseLengthsSum: unlike pointer chasing,
+// every row ID in a pooling operation is known before the first gather
+// issues, so a prefetch pipeline of depth D keeps D misses in flight
+// and hides most of the DRAM latency — one of the "intelligent
+// pre-fetching" techniques §VII invites.
+
+// PrefetchModel describes the memory system the pipeline runs against.
+type PrefetchModel struct {
+	// LatencyNs is the full miss latency of one row gather.
+	LatencyNs float64
+	// TransferNs is the occupancy per row on the memory channel
+	// (bandwidth bound: rows cannot complete faster than this).
+	TransferNs float64
+}
+
+// GatherNs returns the time to gather n rows with a prefetch pipeline
+// of the given depth (depth 1 = no prefetching: serial misses).
+func (m PrefetchModel) GatherNs(n, depth int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	// With depth misses overlapped, a new row completes every
+	// max(Latency/depth, Transfer); plus one full latency to fill the
+	// pipeline.
+	perRow := m.LatencyNs / float64(depth)
+	if m.TransferNs > perRow {
+		perRow = m.TransferNs
+	}
+	return m.LatencyNs + float64(n-1)*perRow
+}
+
+// Speedup returns the gather speedup of depth-D prefetching over serial
+// execution.
+func (m PrefetchModel) Speedup(n, depth int) float64 {
+	return m.GatherNs(n, 1) / m.GatherNs(n, depth)
+}
+
+// Pinned is a static cache holding the rows observed hottest during a
+// profiling window — the "pin the hot embeddings" strategy production
+// systems use when popularity is stationary. After Freeze, contents
+// never change.
+type Pinned struct {
+	capacity int
+	counts   map[uint64]int
+	pinned   map[uint64]struct{}
+	frozen   bool
+}
+
+// NewPinned returns an unpinned (profiling) cache of the given capacity.
+func NewPinned(capacity int) *Pinned {
+	checkCapacity(capacity)
+	return &Pinned{capacity: capacity, counts: make(map[uint64]int)}
+}
+
+// Name implements Policy.
+func (c *Pinned) Name() string { return "Pinned" }
+
+// Capacity implements Policy.
+func (c *Pinned) Capacity() int { return c.capacity }
+
+// Len implements Policy.
+func (c *Pinned) Len() int {
+	if !c.frozen {
+		return 0
+	}
+	return len(c.pinned)
+}
+
+// Access implements Policy. During profiling every access is a miss and
+// only counts; after Freeze, hits are exactly the pinned set.
+func (c *Pinned) Access(id uint64) bool {
+	if !c.frozen {
+		c.counts[id]++
+		return false
+	}
+	_, ok := c.pinned[id]
+	return ok
+}
+
+// Freeze pins the capacity hottest rows seen so far and stops
+// profiling.
+func (c *Pinned) Freeze() {
+	type kv struct {
+		id    uint64
+		count int
+	}
+	all := make([]kv, 0, len(c.counts))
+	for id, n := range c.counts {
+		all = append(all, kv{id, n})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].count != all[b].count {
+			return all[a].count > all[b].count
+		}
+		return all[a].id < all[b].id // deterministic ties
+	})
+	c.pinned = make(map[uint64]struct{}, c.capacity)
+	for i := 0; i < len(all) && i < c.capacity; i++ {
+		c.pinned[all[i].id] = struct{}{}
+	}
+	c.counts = nil
+	c.frozen = true
+}
+
+// ProfileAndFreeze profiles n lookups from the generator, then freezes.
+func (c *Pinned) ProfileAndFreeze(g trace.IDGenerator, n int) {
+	if c.frozen {
+		panic("embcache: already frozen")
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("embcache: profile size must be positive, got %d", n))
+	}
+	ids := make([]int, n)
+	g.Fill(ids)
+	for _, id := range ids {
+		c.counts[uint64(id)]++
+	}
+	c.Freeze()
+}

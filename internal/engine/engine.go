@@ -1,0 +1,348 @@
+// Package engine is a real (not simulated) concurrent inference
+// server: a goroutine worker pool drains a bounded request queue,
+// optionally coalescing concurrent requests into larger batches — the
+// production pattern the paper's batching analysis (§III, §V)
+// motivates. Results are bit-identical to unbatched execution because
+// the forward pass is row-independent.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recsys/internal/model"
+	"recsys/internal/stats"
+	"recsys/internal/tensor"
+)
+
+// Options configures the server.
+type Options struct {
+	// Workers is the number of parallel inference goroutines.
+	Workers int
+	// QueueDepth bounds the pending-request queue.
+	QueueDepth int
+	// MaxBatch enables cross-request coalescing up to this many samples
+	// per forward pass; 1 disables batching.
+	MaxBatch int
+	// MaxWait bounds how long a worker waits to fill a batch.
+	MaxWait time.Duration
+}
+
+// DefaultOptions returns a 4-worker server with moderate batching.
+func DefaultOptions() Options {
+	return Options{Workers: 4, QueueDepth: 256, MaxBatch: 32, MaxWait: 2 * time.Millisecond}
+}
+
+// ErrClosed is returned by Rank after Close.
+var ErrClosed = errors.New("engine: server closed")
+
+// Stats are cumulative serving counters and latency percentiles.
+type Stats struct {
+	Requests int64 // Rank calls completed successfully
+	Samples  int64 // user-item pairs ranked
+	Batches  int64 // forward passes executed
+	Errors   int64 // failed requests (bad input or cancelled)
+	// P50US, P95US, and P99US are end-to-end Rank latency percentiles
+	// in microseconds over a sliding window of recent requests.
+	P50US, P95US, P99US float64
+}
+
+// AvgBatch returns the mean samples per forward pass.
+func (s Stats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Samples) / float64(s.Batches)
+}
+
+// Server serves a materialized model.
+type Server struct {
+	model *model.Model
+	opts  Options
+
+	jobs    chan *job
+	closing chan struct{}
+	wg      sync.WaitGroup // workers
+	senders sync.WaitGroup // Rank calls between admission and enqueue
+
+	mu     sync.Mutex
+	closed bool
+
+	requests atomic.Int64
+	samples  atomic.Int64
+	batches  atomic.Int64
+	errs     atomic.Int64
+
+	latMu  sync.Mutex
+	latBuf []float64 // ring of recent request latencies (µs)
+	latPos int
+	latLen int
+}
+
+// latencyWindow is the number of recent requests the latency
+// percentiles cover.
+const latencyWindow = 4096
+
+func (s *Server) recordLatency(us float64) {
+	s.latMu.Lock()
+	if s.latBuf == nil {
+		s.latBuf = make([]float64, latencyWindow)
+	}
+	s.latBuf[s.latPos] = us
+	s.latPos = (s.latPos + 1) % latencyWindow
+	if s.latLen < latencyWindow {
+		s.latLen++
+	}
+	s.latMu.Unlock()
+}
+
+type job struct {
+	ctx  context.Context
+	req  model.Request
+	resp chan jobResult
+}
+
+type jobResult struct {
+	ctr []float32
+	err error
+}
+
+// New starts a server for the model. It returns an error on nil model
+// or non-positive worker/queue options.
+func New(m *model.Model, opts Options) (*Server, error) {
+	if m == nil {
+		return nil, errors.New("engine: nil model")
+	}
+	if opts.Workers <= 0 || opts.QueueDepth <= 0 {
+		return nil, fmt.Errorf("engine: workers and queue depth must be positive, got %d, %d", opts.Workers, opts.QueueDepth)
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 1
+	}
+	s := &Server{
+		model:   m,
+		opts:    opts,
+		jobs:    make(chan *job, opts.QueueDepth),
+		closing: make(chan struct{}),
+	}
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Rank scores one batched request, blocking until a worker completes it
+// or ctx is done.
+func (s *Server) Rank(ctx context.Context, req model.Request) ([]float32, error) {
+	// Admission: register as a sender under the lock so Close waits for
+	// the enqueue (or its abort) before closing the jobs channel.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.senders.Add(1)
+	s.mu.Unlock()
+
+	j := &job{ctx: ctx, req: req, resp: make(chan jobResult, 1)}
+	select {
+	case s.jobs <- j:
+		s.senders.Done()
+	case <-ctx.Done():
+		s.senders.Done()
+		s.errs.Add(1)
+		return nil, ctx.Err()
+	case <-s.closing:
+		s.senders.Done()
+		s.errs.Add(1)
+		return nil, ErrClosed
+	}
+	start := time.Now()
+	select {
+	case r := <-j.resp:
+		if r.err != nil {
+			s.errs.Add(1)
+			return nil, r.err
+		}
+		s.requests.Add(1)
+		s.recordLatency(float64(time.Since(start).Microseconds()))
+		return r.ctr, nil
+	case <-ctx.Done():
+		// The worker may still process the job; its result is dropped.
+		s.errs.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops accepting requests, drains the queue, and waits for
+// workers to finish. Rank calls blocked on a full queue are aborted
+// with ErrClosed. Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.closing)
+	s.mu.Unlock()
+	// Wait for in-flight enqueues to land or abort, then close the
+	// channel so workers drain and exit.
+	s.senders.Wait()
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// Stats returns a snapshot of the serving counters and latency
+// percentiles.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests: s.requests.Load(),
+		Samples:  s.samples.Load(),
+		Batches:  s.batches.Load(),
+		Errors:   s.errs.Load(),
+	}
+	s.latMu.Lock()
+	if s.latLen > 0 {
+		sample := stats.NewSample(s.latLen)
+		sample.AddAll(s.latBuf[:s.latLen])
+		st.P50US = sample.Percentile(50)
+		st.P95US = sample.Percentile(95)
+		st.P99US = sample.Percentile(99)
+	}
+	s.latMu.Unlock()
+	return st
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		batch := []*job{j}
+		samples := j.req.Batch
+		// Coalesce more requests up to MaxBatch samples or MaxWait.
+		if s.opts.MaxBatch > 1 {
+			deadline := time.NewTimer(s.opts.MaxWait)
+		collect:
+			for samples < s.opts.MaxBatch {
+				select {
+				case next, ok := <-s.jobs:
+					if !ok {
+						break collect
+					}
+					batch = append(batch, next)
+					samples += next.req.Batch
+				case <-deadline.C:
+					break collect
+				}
+			}
+			deadline.Stop()
+		}
+		s.process(batch, samples)
+	}
+}
+
+// process runs one coalesced forward pass and distributes the results.
+func (s *Server) process(batch []*job, samples int) {
+	// Drop requests whose context is already done.
+	live := batch[:0]
+	for _, j := range batch {
+		if err := j.ctx.Err(); err != nil {
+			j.resp <- jobResult{err: err}
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	merged, err := s.merge(live)
+	if err != nil {
+		// Fall back to per-request execution so one malformed request
+		// cannot poison its batch peers.
+		for _, j := range live {
+			ctr, err := s.forward(j.req)
+			j.resp <- jobResult{ctr: ctr, err: err}
+		}
+		return
+	}
+	ctr, err := s.forward(merged)
+	if err != nil {
+		for _, j := range live {
+			j.resp <- jobResult{err: err}
+		}
+		return
+	}
+	off := 0
+	for _, j := range live {
+		j.resp <- jobResult{ctr: ctr[off : off+j.req.Batch : off+j.req.Batch]}
+		off += j.req.Batch
+	}
+}
+
+// forward runs the model, converting panics from malformed requests
+// into errors.
+func (s *Server) forward(req model.Request) (ctr []float32, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: inference failed: %v", r)
+		}
+	}()
+	ctr = s.model.CTR(req)
+	s.batches.Add(1)
+	s.samples.Add(int64(req.Batch))
+	return ctr, nil
+}
+
+// merge concatenates requests into one. All requests must match the
+// model's input shapes; mismatches return an error.
+func (s *Server) merge(jobs []*job) (model.Request, error) {
+	if len(jobs) == 1 {
+		return jobs[0].req, nil
+	}
+	cfg := s.model.Config
+	total := 0
+	for _, j := range jobs {
+		r := j.req
+		if r.Batch <= 0 {
+			return model.Request{}, fmt.Errorf("engine: non-positive batch %d", r.Batch)
+		}
+		if cfg.DenseIn > 0 && (r.Dense == nil || r.Dense.Dim(0) != r.Batch || r.Dense.Dim(1) != cfg.DenseIn) {
+			return model.Request{}, errors.New("engine: dense shape mismatch")
+		}
+		if len(r.SparseIDs) != len(cfg.Tables) {
+			return model.Request{}, errors.New("engine: sparse input count mismatch")
+		}
+		for ti, ids := range r.SparseIDs {
+			if len(ids) != r.Batch*cfg.Tables[ti].Lookups {
+				return model.Request{}, errors.New("engine: sparse ID count mismatch")
+			}
+		}
+		total += r.Batch
+	}
+	out := model.Request{Batch: total}
+	if cfg.DenseIn > 0 {
+		out.Dense = tensor.New(total, cfg.DenseIn)
+		row := 0
+		for _, j := range jobs {
+			for b := 0; b < j.req.Batch; b++ {
+				copy(out.Dense.Row(row), j.req.Dense.Row(b))
+				row++
+			}
+		}
+	}
+	out.SparseIDs = make([][]int, len(cfg.Tables))
+	for ti := range cfg.Tables {
+		ids := make([]int, 0, total*cfg.Tables[ti].Lookups)
+		for _, j := range jobs {
+			ids = append(ids, j.req.SparseIDs[ti]...)
+		}
+		out.SparseIDs[ti] = ids
+	}
+	return out, nil
+}

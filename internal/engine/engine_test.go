@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"recsys/internal/model"
+	"recsys/internal/stats"
+)
+
+func testModel(t *testing.T) *model.Model {
+	t.Helper()
+	m, err := model.Build(model.RMC1Small().Scaled(500), stats.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(nil, DefaultOptions()); err == nil {
+		t.Error("nil model should error")
+	}
+	m := testModel(t)
+	if _, err := New(m, Options{Workers: 0, QueueDepth: 1}); err == nil {
+		t.Error("zero workers should error")
+	}
+	if _, err := New(m, Options{Workers: 1, QueueDepth: 0}); err == nil {
+		t.Error("zero queue should error")
+	}
+}
+
+func TestRankMatchesDirectForward(t *testing.T) {
+	m := testModel(t)
+	s, err := New(m, Options{Workers: 2, QueueDepth: 8, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	req := model.NewRandomRequest(m.Config, 5, stats.NewRNG(1))
+	want := m.CTR(req)
+	got, err := s.Rank(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("served CTR %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchingIsTransparent: with cross-request coalescing on, results
+// are still bit-identical to direct execution, because the forward pass
+// is row-independent.
+func TestBatchingIsTransparent(t *testing.T) {
+	m := testModel(t)
+	s, err := New(m, Options{Workers: 1, QueueDepth: 64, MaxBatch: 64, MaxWait: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 24
+	reqs := make([]model.Request, n)
+	wants := make([][]float32, n)
+	for i := range reqs {
+		reqs[i] = model.NewRandomRequest(m.Config, 1+i%3, stats.NewRNG(uint64(i)+10))
+		wants[i] = m.CTR(reqs[i])
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	gots := make([][]float32, n)
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gots[i], errs[i] = s.Rank(context.Background(), reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		for k := range wants[i] {
+			if gots[i][k] != wants[i][k] {
+				t.Fatalf("request %d sample %d: %v vs %v", i, k, gots[i][k], wants[i][k])
+			}
+		}
+	}
+	// Coalescing must actually have happened.
+	st := s.Stats()
+	if st.Batches >= st.Requests {
+		t.Errorf("no coalescing: %d batches for %d requests", st.Batches, st.Requests)
+	}
+	if st.AvgBatch() <= 1.5 {
+		t.Errorf("avg batch %.2f, want > 1.5", st.AvgBatch())
+	}
+}
+
+func TestConcurrentLoad(t *testing.T) {
+	m := testModel(t)
+	s, err := New(m, Options{Workers: 4, QueueDepth: 32, MaxBatch: 16, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	const goroutines, perG = 16, 20
+	errCh := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(g) + 1)
+			for i := 0; i < perG; i++ {
+				req := model.NewRandomRequest(m.Config, 2, rng)
+				if _, err := s.Rank(context.Background(), req); err != nil {
+					errCh <- err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Requests != goroutines*perG || st.Samples != 2*goroutines*perG {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	m := testModel(t)
+	s, err := New(m, Options{Workers: 2, QueueDepth: 8, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := stats.NewRNG(1)
+	for i := 0; i < 30; i++ {
+		if _, err := s.Rank(context.Background(), model.NewRandomRequest(m.Config, 2, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.P50US <= 0 || st.P99US < st.P50US || st.P95US < st.P50US || st.P99US < st.P95US {
+		t.Errorf("latency percentiles inconsistent: p50=%.1f p95=%.1f p99=%.1f", st.P50US, st.P95US, st.P99US)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	m := testModel(t)
+	s, err := New(m, Options{Workers: 1, QueueDepth: 4, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := model.NewRandomRequest(m.Config, 1, stats.NewRNG(1))
+	if _, err := s.Rank(ctx, req); err == nil {
+		t.Error("cancelled context should fail")
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	m := testModel(t)
+	s, err := New(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-flight request completes before Close returns.
+	req := model.NewRandomRequest(m.Config, 1, stats.NewRNG(1))
+	if _, err := s.Rank(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Rank(context.Background(), req); err != ErrClosed {
+		t.Errorf("Rank after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseWhileQueueFull: Rank calls blocked on a saturated queue must
+// abort with ErrClosed rather than deadlock or panic when the server
+// shuts down.
+func TestCloseWhileQueueFull(t *testing.T) {
+	m := testModel(t)
+	s, err := New(m, Options{Workers: 1, QueueDepth: 1, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate: many concurrent big-ish requests on one worker.
+	var wg sync.WaitGroup
+	results := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := model.NewRandomRequest(m.Config, 8, stats.NewRNG(uint64(i)+1))
+			_, err := s.Rank(context.Background(), req)
+			results <- err
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked with a full queue")
+	}
+	wg.Wait()
+	close(results)
+	// Every request either succeeded or got ErrClosed — never a panic
+	// or hang.
+	for err := range results {
+		if err != nil && err != ErrClosed {
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+}
+
+func TestMalformedRequestDoesNotPoisonBatch(t *testing.T) {
+	m := testModel(t)
+	s, err := New(m, Options{Workers: 1, QueueDepth: 16, MaxBatch: 8, MaxWait: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	good := model.NewRandomRequest(m.Config, 1, stats.NewRNG(2))
+	bad := model.NewRandomRequest(m.Config, 1, stats.NewRNG(3))
+	bad.SparseIDs = bad.SparseIDs[:1] // wrong table count
+
+	var wg sync.WaitGroup
+	var goodErr, badErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); _, goodErr = s.Rank(context.Background(), good) }()
+	go func() { defer wg.Done(); _, badErr = s.Rank(context.Background(), bad) }()
+	wg.Wait()
+	if goodErr != nil {
+		t.Errorf("good request failed alongside bad one: %v", goodErr)
+	}
+	if badErr == nil {
+		t.Error("malformed request should fail")
+	}
+}

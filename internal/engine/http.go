@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"recsys/internal/model"
+	"recsys/internal/tensor"
+)
+
+// HTTP front-end: a JSON ranking endpoint over the concurrent server,
+// so a trained checkpoint can be served as a network service.
+//
+//	POST /rank    {"dense": [[...]], "sparse_ids": [[...], ...]}
+//	           →  {"ctr": [...]}
+//	GET  /stats   serving counters
+//	GET  /healthz liveness
+//
+// The request's batch size is inferred from the dense rows (or, for
+// models without a dense path, from the first table's ID count).
+
+// RankRequest is the JSON body of POST /rank.
+type RankRequest struct {
+	// Dense holds batch rows of continuous features; omit for models
+	// without a dense path.
+	Dense [][]float32 `json:"dense,omitempty"`
+	// SparseIDs holds one flattened ID list per embedding table
+	// (batch × lookups entries each).
+	SparseIDs [][]int `json:"sparse_ids"`
+}
+
+// RankResponse is the JSON body returned by POST /rank.
+type RankResponse struct {
+	CTR []float32 `json:"ctr"`
+}
+
+// Handler returns an http.Handler exposing the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /rank", s.handleRank)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	var body RankRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	req, err := body.toRequest(s.model.Config)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctr, err := s.Rank(r.Context(), req)
+	switch {
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(RankResponse{CTR: ctr}); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	st := s.Stats()
+	json.NewEncoder(w).Encode(map[string]any{
+		"requests":  st.Requests,
+		"samples":   st.Samples,
+		"batches":   st.Batches,
+		"errors":    st.Errors,
+		"avg_batch": st.AvgBatch(),
+		"p50_us":    st.P50US,
+		"p95_us":    st.P95US,
+		"p99_us":    st.P99US,
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// toRequest validates the JSON payload against the model config and
+// builds a model.Request.
+func (rr RankRequest) toRequest(cfg model.Config) (model.Request, error) {
+	batch := 0
+	if cfg.DenseIn > 0 {
+		if len(rr.Dense) == 0 {
+			return model.Request{}, errors.New("engine: model requires dense features")
+		}
+		batch = len(rr.Dense)
+		for i, row := range rr.Dense {
+			if len(row) != cfg.DenseIn {
+				return model.Request{}, fmt.Errorf("engine: dense row %d has %d features, want %d", i, len(row), cfg.DenseIn)
+			}
+		}
+	} else if len(rr.SparseIDs) > 0 && len(cfg.Tables) > 0 {
+		if rr.SparseIDs[0] == nil || len(rr.SparseIDs[0])%cfg.Tables[0].Lookups != 0 {
+			return model.Request{}, errors.New("engine: cannot infer batch from sparse IDs")
+		}
+		batch = len(rr.SparseIDs[0]) / cfg.Tables[0].Lookups
+	}
+	if batch <= 0 {
+		return model.Request{}, errors.New("engine: empty request")
+	}
+	if len(rr.SparseIDs) != len(cfg.Tables) {
+		return model.Request{}, fmt.Errorf("engine: %d sparse inputs, want %d", len(rr.SparseIDs), len(cfg.Tables))
+	}
+	req := model.Request{Batch: batch}
+	if cfg.DenseIn > 0 {
+		req.Dense = tensor.New(batch, cfg.DenseIn)
+		for i, row := range rr.Dense {
+			copy(req.Dense.Row(i), row)
+		}
+	}
+	for ti, ids := range rr.SparseIDs {
+		want := batch * cfg.Tables[ti].Lookups
+		if len(ids) != want {
+			return model.Request{}, fmt.Errorf("engine: table %d has %d IDs, want %d", ti, len(ids), want)
+		}
+		for _, id := range ids {
+			if id < 0 || id >= cfg.Tables[ti].Rows {
+				return model.Request{}, fmt.Errorf("engine: table %d ID %d out of range [0,%d)", ti, id, cfg.Tables[ti].Rows)
+			}
+		}
+		req.SparseIDs = append(req.SparseIDs, ids)
+	}
+	return req, nil
+}

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"recsys/internal/model"
+	"recsys/internal/stats"
+)
+
+func httpServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	m := testModel(t)
+	s, err := New(m, Options{Workers: 2, QueueDepth: 16, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func rankBody(t *testing.T, cfg model.Config, batch int) []byte {
+	t.Helper()
+	rng := stats.NewRNG(3)
+	req := RankRequest{}
+	for b := 0; b < batch; b++ {
+		row := make([]float32, cfg.DenseIn)
+		for i := range row {
+			row[i] = rng.Float32()
+		}
+		req.Dense = append(req.Dense, row)
+	}
+	for _, tab := range cfg.Tables {
+		ids := make([]int, batch*tab.Lookups)
+		for i := range ids {
+			ids[i] = rng.Intn(tab.Rows)
+		}
+		req.SparseIDs = append(req.SparseIDs, ids)
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestHTTPRank(t *testing.T) {
+	s, ts := httpServer(t)
+	body := rankBody(t, s.model.Config, 3)
+	resp, err := http.Post(ts.URL+"/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out RankResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.CTR) != 3 {
+		t.Fatalf("CTR length %d", len(out.CTR))
+	}
+	for _, p := range out.CTR {
+		if p <= 0 || p >= 1 {
+			t.Fatalf("CTR %v out of (0,1)", p)
+		}
+	}
+}
+
+func TestHTTPRankRejectsBadInput(t *testing.T) {
+	s, ts := httpServer(t)
+	cfg := s.model.Config
+	post := func(data []byte) int {
+		resp, err := http.Post(ts.URL+"/rank", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post([]byte("{not json")); code != http.StatusBadRequest {
+		t.Errorf("garbage JSON: status %d", code)
+	}
+	if code := post([]byte(`{"unknown_field": 1}`)); code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", code)
+	}
+	if code := post([]byte(`{"dense": [], "sparse_ids": []}`)); code != http.StatusBadRequest {
+		t.Errorf("empty request: status %d", code)
+	}
+	// Out-of-range embedding ID.
+	var req RankRequest
+	if err := json.Unmarshal(rankBody(t, cfg, 1), &req); err != nil {
+		t.Fatal(err)
+	}
+	req.SparseIDs[0][0] = cfg.Tables[0].Rows + 5
+	data, _ := json.Marshal(req)
+	if code := post(data); code != http.StatusBadRequest {
+		t.Errorf("out-of-range ID: status %d", code)
+	}
+	// Wrong dense width.
+	if err := json.Unmarshal(rankBody(t, cfg, 1), &req); err != nil {
+		t.Fatal(err)
+	}
+	req.Dense[0] = req.Dense[0][:len(req.Dense[0])-1]
+	data, _ = json.Marshal(req)
+	if code := post(data); code != http.StatusBadRequest {
+		t.Errorf("bad dense width: status %d", code)
+	}
+}
+
+func TestHTTPStatsAndHealth(t *testing.T) {
+	s, ts := httpServer(t)
+	// Rank once so counters move.
+	body := rankBody(t, s.model.Config, 2)
+	resp, err := http.Post(ts.URL+"/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %d", err, hr.StatusCode)
+	}
+	hr.Body.Close()
+
+	sr, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["requests"].(float64) < 1 || st["samples"].(float64) < 2 {
+		t.Errorf("stats not counting: %v", st)
+	}
+}
+
+func TestHTTPMethodRouting(t *testing.T) {
+	_, ts := httpServer(t)
+	resp, err := http.Get(ts.URL + "/rank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("GET /rank should not be routed")
+	}
+}

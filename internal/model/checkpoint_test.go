@@ -1,0 +1,98 @@
+package model
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"recsys/internal/stats"
+	"recsys/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{
+		RMC1Small().Scaled(200),
+		MLPerfNCF().Scaled(50), // no dense path
+	} {
+		src, err := Build(cfg, stats.NewRNG(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := src.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", cfg.Name, err)
+		}
+		dst, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", cfg.Name, err)
+		}
+		// Identical predictions on identical input.
+		req := NewRandomRequest(cfg, 6, stats.NewRNG(7))
+		a, b := src.CTR(req), dst.CTR(req)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: prediction %d changed: %v vs %v", cfg.Name, i, a[i], b[i])
+			}
+		}
+		// Weights bit-identical.
+		if !tensor.Equal(src.Top.Layers[0].W, dst.Top.Layers[0].W, 0) {
+			t.Fatalf("%s: top weights differ", cfg.Name)
+		}
+		if !tensor.Equal(src.SLS[0].Table.W, dst.SLS[0].Table.W, 0) {
+			t.Fatalf("%s: embedding tables differ", cfg.Name)
+		}
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	cfg := RMC1Small().Scaled(500)
+	src, err := Build(cfg, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := src.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Config.Name != cfg.Name {
+		t.Errorf("config name %q", dst.Config.Name)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	cfg := RMC1Small().Scaled(500)
+	src, err := Build(cfg, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Flip a byte in the middle (weight data): CRC must catch it.
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	if _, err := Load(bytes.NewReader(corrupt)); err == nil {
+		t.Error("corrupted checkpoint should fail CRC")
+	}
+
+	// Wrong magic.
+	bad := append([]byte("NOTMAGIC"), good[8:]...)
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic should fail")
+	}
+
+	// Truncated.
+	if _, err := Load(bytes.NewReader(good[:len(good)/3])); err == nil {
+		t.Error("truncated checkpoint should fail")
+	}
+}

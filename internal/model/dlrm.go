@@ -1,0 +1,131 @@
+package model
+
+import (
+	"fmt"
+
+	"recsys/internal/nn"
+	"recsys/internal/stats"
+	"recsys/internal/tensor"
+)
+
+// MaxBuildBytes caps the embedding storage Build will materialize, as a
+// guard against accidentally allocating a production-scale (10GB+)
+// model in a test or example. Use Config.Scaled to shrink a production
+// config below the cap.
+const MaxBuildBytes = 1 << 30 // 1 GiB
+
+// Model is a runnable recommendation model: real fp32 weights, real
+// forward pass. Production-scale configs are typically run through the
+// performance simulator instead (internal/perf); Build materializes
+// models for functional use — examples, correctness tests, and
+// trace-driven cache studies.
+type Model struct {
+	Config   Config
+	Bottom   *nn.MLP // nil when the config has no dense path
+	SLS      []*nn.SLSOp
+	ConcatOp *nn.Concat
+	Interact *nn.DotInteraction // nil for Cat interaction
+	Top      *nn.MLP
+}
+
+// Build materializes a runnable model with weights drawn from rng.
+// It returns an error if the config is invalid or its embedding storage
+// exceeds MaxBuildBytes.
+func Build(cfg Config, rng *stats.RNG) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if b := cfg.EmbeddingBytes(); b > MaxBuildBytes {
+		return nil, fmt.Errorf("model: %s needs %.1f GB of embeddings (cap %d GB); use Config.Scaled or the performance simulator",
+			cfg.Name, float64(b)/(1<<30), MaxBuildBytes>>30)
+	}
+	m := &Model{Config: cfg}
+	if cfg.DenseIn > 0 {
+		dims := append([]int{cfg.DenseIn}, cfg.BottomMLP...)
+		m.Bottom = nn.NewMLP(cfg.Name+"/bottom", dims, true, rng)
+	}
+	for i, t := range cfg.Tables {
+		table := nn.NewEmbeddingTable(fmt.Sprintf("%s/emb%d", cfg.Name, i), t.Rows, t.Dim, rng)
+		m.SLS = append(m.SLS, nn.NewSLSOp(table, t.Lookups))
+	}
+	widths := make([]int, 0, len(cfg.Tables)+1)
+	if cfg.BottomOut() > 0 {
+		widths = append(widths, cfg.BottomOut())
+	}
+	for _, t := range cfg.Tables {
+		widths = append(widths, t.Dim)
+	}
+	m.ConcatOp = nn.NewConcat(cfg.Name+"/concat", widths)
+	if cfg.Interaction == Dot {
+		m.Interact = nn.NewDotInteraction(cfg.Name+"/interact", len(cfg.Tables)+1, cfg.BottomOut(), true)
+	}
+	dims := append([]int{cfg.TopMLPIn()}, cfg.TopMLP...)
+	m.Top = nn.NewMLP(cfg.Name+"/top", dims, false, rng)
+	return m, nil
+}
+
+// Request is one batched inference input.
+type Request struct {
+	// Dense is the continuous-feature matrix [batch, DenseIn]; nil when
+	// the model has no dense path.
+	Dense *tensor.Tensor
+	// SparseIDs[t] holds batch×Lookups[t] embedding-row IDs for table t.
+	SparseIDs [][]int
+	// Batch is the number of user-item pairs ranked together.
+	Batch int
+}
+
+// NewRandomRequest builds a request with uniform-random sparse IDs and
+// normal dense features — the load shape of the paper's synthetic
+// benchmark.
+func NewRandomRequest(cfg Config, batch int, rng *stats.RNG) Request {
+	req := Request{Batch: batch}
+	if cfg.DenseIn > 0 {
+		req.Dense = tensor.New(batch, cfg.DenseIn)
+		d := req.Dense.Data()
+		for i := range d {
+			d[i] = float32(rng.NormFloat64())
+		}
+	}
+	for _, t := range cfg.Tables {
+		ids := make([]int, batch*t.Lookups)
+		for i := range ids {
+			ids[i] = rng.Intn(t.Rows)
+		}
+		req.SparseIDs = append(req.SparseIDs, ids)
+	}
+	return req
+}
+
+// Forward computes the predicted click-through rate for every pair in
+// the request, returning a [batch, 1] tensor of probabilities in (0,1).
+func (m *Model) Forward(req Request) *tensor.Tensor {
+	if len(req.SparseIDs) != len(m.SLS) {
+		panic(fmt.Sprintf("model: %s expects %d sparse inputs, got %d", m.Config.Name, len(m.SLS), len(req.SparseIDs)))
+	}
+	var parts []*tensor.Tensor
+	if m.Bottom != nil {
+		if req.Dense == nil {
+			panic(fmt.Sprintf("model: %s requires dense features", m.Config.Name))
+		}
+		parts = append(parts, m.Bottom.Forward(req.Dense))
+	}
+	for i, op := range m.SLS {
+		parts = append(parts, op.Forward(req.SparseIDs[i], req.Batch))
+	}
+	x := m.ConcatOp.Forward(parts)
+	if m.Interact != nil {
+		x = m.Interact.Forward(x)
+	}
+	x = m.Top.Forward(x)
+	nn.SigmoidInPlace(x)
+	return x
+}
+
+// CTR runs Forward and returns the probabilities as a plain slice.
+func (m *Model) CTR(req Request) []float32 {
+	out := m.Forward(req)
+	res := make([]float32, out.Dim(0))
+	copy(res, out.Data())
+	return res
+}

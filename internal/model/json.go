@@ -1,0 +1,131 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// JSON (de)serialization for Config, so benchmark configurations can be
+// shared as files — the counterpart of the open-source benchmark's
+// command-line configuration (Figure 13).
+
+// configJSON is the stable on-disk schema.
+type configJSON struct {
+	Name        string          `json:"name"`
+	Class       string          `json:"class"`
+	DenseIn     int             `json:"dense_in"`
+	BottomMLP   []int           `json:"bottom_mlp,omitempty"`
+	TopMLP      []int           `json:"top_mlp"`
+	Tables      []tableSpecJSON `json:"tables,omitempty"`
+	Interaction string          `json:"interaction"`
+}
+
+type tableSpecJSON struct {
+	Rows    int `json:"rows"`
+	Dim     int `json:"dim"`
+	Lookups int `json:"lookups"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c Config) MarshalJSON() ([]byte, error) {
+	out := configJSON{
+		Name:        c.Name,
+		Class:       c.Class.String(),
+		DenseIn:     c.DenseIn,
+		BottomMLP:   c.BottomMLP,
+		TopMLP:      c.TopMLP,
+		Interaction: c.Interaction.String(),
+	}
+	for _, t := range c.Tables {
+		out.Tables = append(out.Tables, tableSpecJSON(t))
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded config is
+// validated.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	var in configJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("model: decoding config: %w", err)
+	}
+	cls, err := parseClass(in.Class)
+	if err != nil {
+		return err
+	}
+	inter, err := parseInteraction(in.Interaction)
+	if err != nil {
+		return err
+	}
+	out := Config{
+		Name:        in.Name,
+		Class:       cls,
+		DenseIn:     in.DenseIn,
+		BottomMLP:   in.BottomMLP,
+		TopMLP:      in.TopMLP,
+		Interaction: inter,
+	}
+	for _, t := range in.Tables {
+		out.Tables = append(out.Tables, TableSpec(t))
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*c = out
+	return nil
+}
+
+func parseClass(s string) (Class, error) {
+	switch strings.ToUpper(s) {
+	case "RMC1":
+		return RMC1, nil
+	case "RMC2":
+		return RMC2, nil
+	case "RMC3":
+		return RMC3, nil
+	case "NCF":
+		return NCF, nil
+	case "CUSTOM", "":
+		return Custom, nil
+	default:
+		return Custom, fmt.Errorf("model: unknown class %q", s)
+	}
+}
+
+func parseInteraction(s string) (Interaction, error) {
+	switch strings.ToLower(s) {
+	case "cat", "":
+		return Cat, nil
+	case "dot":
+		return Dot, nil
+	default:
+		return Cat, fmt.Errorf("model: unknown interaction %q", s)
+	}
+}
+
+// LoadConfig reads and validates a JSON config file.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("model: reading config: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// SaveConfig writes a config as indented JSON.
+func SaveConfig(cfg Config, path string) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

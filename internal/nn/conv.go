@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"fmt"
+
+	"recsys/internal/stats"
+	"recsys/internal/tensor"
+)
+
+// Conv2D is a direct (non-im2col) 2-D convolution with square kernels,
+// NCHW layout, and symmetric padding. It exists as the CNN reference
+// point for the compute-density and cache-behaviour comparisons of
+// Figures 2 and 5 (the paper uses ResNet-50 layers as its CNN example).
+type Conv2D struct {
+	InC, OutC   int
+	Kernel      int
+	Stride, Pad int
+	InH, InW    int
+	W           *tensor.Tensor // [OutC, InC, Kernel, Kernel]
+	B           []float32
+	label       string
+}
+
+// NewConv2D builds a convolution layer with random weights.
+func NewConv2D(label string, inC, outC, kernel, stride, pad, inH, inW int, rng *stats.RNG) *Conv2D {
+	if inC <= 0 || outC <= 0 || kernel <= 0 || stride <= 0 || pad < 0 || inH <= 0 || inW <= 0 {
+		panic(fmt.Sprintf("nn: invalid Conv2D geometry inC=%d outC=%d k=%d s=%d p=%d in=%dx%d",
+			inC, outC, kernel, stride, pad, inH, inW))
+	}
+	c := &Conv2D{
+		InC: inC, OutC: outC, Kernel: kernel, Stride: stride, Pad: pad, InH: inH, InW: inW,
+		W: tensor.New(outC, inC, kernel, kernel), B: make([]float32, outC), label: label,
+	}
+	d := c.W.Data()
+	scale := float32(0.1)
+	for i := range d {
+		d[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return c
+}
+
+// Name returns the layer label.
+func (c *Conv2D) Name() string { return c.label }
+
+// Kind reports KindConv.
+func (c *Conv2D) Kind() Kind { return KindConv }
+
+// OutH returns the output height.
+func (c *Conv2D) OutH() int { return (c.InH+2*c.Pad-c.Kernel)/c.Stride + 1 }
+
+// OutW returns the output width.
+func (c *Conv2D) OutW() int { return (c.InW+2*c.Pad-c.Kernel)/c.Stride + 1 }
+
+// Forward convolves x of shape [batch, InC, InH, InW] and returns
+// [batch, OutC, OutH, OutW].
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC || x.Dim(2) != c.InH || x.Dim(3) != c.InW {
+		panic(fmt.Sprintf("nn: Conv2D %q input shape %v, want [batch %d %d %d]", c.label, x.Shape(), c.InC, c.InH, c.InW))
+	}
+	batch := x.Dim(0)
+	oh, ow := c.OutH(), c.OutW()
+	out := tensor.New(batch, c.OutC, oh, ow)
+	xd, wd, od := x.Data(), c.W.Data(), out.Data()
+	for b := 0; b < batch; b++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.B[oc]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					sum := bias
+					iy0 := oy*c.Stride - c.Pad
+					ix0 := ox*c.Stride - c.Pad
+					for ic := 0; ic < c.InC; ic++ {
+						for ky := 0; ky < c.Kernel; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= c.InH {
+								continue
+							}
+							xBase := ((b*c.InC+ic)*c.InH + iy) * c.InW
+							wBase := ((oc*c.InC+ic)*c.Kernel + ky) * c.Kernel
+							for kx := 0; kx < c.Kernel; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= c.InW {
+									continue
+								}
+								sum += xd[xBase+ix] * wd[wBase+kx]
+							}
+						}
+					}
+					od[((b*c.OutC+oc)*oh+oy)*ow+ox] = sum
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ParamCount returns the number of learnable parameters.
+func (c *Conv2D) ParamCount() int { return c.OutC*c.InC*c.Kernel*c.Kernel + c.OutC }
+
+// Stats reports the convolution work. Weight reuse across output pixels
+// is what gives CNN layers their ~141 FLOPs/byte operational intensity:
+// parameters are read once while FLOPs scale with the output volume.
+func (c *Conv2D) Stats(batch int) OpStats {
+	outPix := float64(c.OutH() * c.OutW())
+	flops := 2 * float64(batch) * outPix * float64(c.OutC) * float64(c.InC) * float64(c.Kernel*c.Kernel)
+	param := bytesF32(c.ParamCount())
+	return OpStats{
+		FLOPs:      flops,
+		ParamBytes: param,
+		ReadBytes:  param + bytesF32(batch*c.InC*c.InH*c.InW),
+		WriteBytes: bytesF32(batch * c.OutC * c.OutH() * c.OutW()),
+	}
+}

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"fmt"
+
+	"recsys/internal/stats"
+	"recsys/internal/tensor"
+)
+
+// EmbeddingTable maps sparse categorical IDs to dense vectors. A table
+// has Rows entries ("input dimension" in Table I, ~millions in
+// production) of Cols elements each ("output dimension", 24-40 in the
+// paper, typically 32 or 64).
+type EmbeddingTable struct {
+	Rows, Cols int
+	W          *tensor.Tensor // [Rows, Cols]
+	label      string
+}
+
+// NewEmbeddingTable returns a table with small uniform-random entries.
+func NewEmbeddingTable(label string, rows, cols int, rng *stats.RNG) *EmbeddingTable {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("nn: embedding table dimensions must be positive, got %d×%d", rows, cols))
+	}
+	t := &EmbeddingTable{Rows: rows, Cols: cols, W: tensor.New(rows, cols), label: label}
+	d := t.W.Data()
+	scale := float32(1.0 / float64(cols))
+	for i := range d {
+		d[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return t
+}
+
+// Name returns the table label.
+func (e *EmbeddingTable) Name() string { return e.label }
+
+// SizeBytes returns the table's storage footprint in bytes (fp32).
+func (e *EmbeddingTable) SizeBytes() int64 {
+	return int64(e.Rows) * int64(e.Cols) * 4
+}
+
+// SparseLengthsSum implements Algorithm 1 of the paper: for each of the
+// K slices described by lengths, gather the rows of the table addressed
+// by the corresponding IDs and sum them element-wise into one output
+// vector. K is the batch size at inference time.
+//
+//	Out[k] = Σ_{id ∈ slice k} Table[id]
+//
+// ids holds the concatenated per-slice ID lists; sum(lengths) must equal
+// len(ids). Every ID must be in [0, Rows).
+func (e *EmbeddingTable) SparseLengthsSum(ids []int, lengths []int) *tensor.Tensor {
+	total := 0
+	for _, l := range lengths {
+		if l < 0 {
+			panic("nn: SparseLengthsSum negative length")
+		}
+		total += l
+	}
+	if total != len(ids) {
+		panic(fmt.Sprintf("nn: SparseLengthsSum lengths sum to %d but %d IDs given", total, len(ids)))
+	}
+	out := tensor.New(len(lengths), e.Cols)
+	cur := 0
+	for k, l := range lengths {
+		outRow := out.Row(k)
+		for _, id := range ids[cur : cur+l] {
+			if id < 0 || id >= e.Rows {
+				panic(fmt.Sprintf("nn: SparseLengthsSum ID %d out of range [0,%d)", id, e.Rows))
+			}
+			row := e.W.Row(id)
+			for i, v := range row {
+				outRow[i] += v
+			}
+		}
+		cur += l
+	}
+	return out
+}
+
+// SparseLengthsMean pools like SparseLengthsSum but averages the
+// gathered rows (Caffe2's SparseLengthsMean; DLRM supports both).
+// Zero-length slices yield zero vectors.
+func (e *EmbeddingTable) SparseLengthsMean(ids []int, lengths []int) *tensor.Tensor {
+	out := e.SparseLengthsSum(ids, lengths)
+	for k, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		inv := 1 / float32(l)
+		row := out.Row(k)
+		for i := range row {
+			row[i] *= inv
+		}
+	}
+	return out
+}
+
+// SLSOp is one embedding-table lookup-and-pool operator inside a model:
+// a table plus the number of sparse IDs gathered per sample
+// ("# lookups" in Table I).
+type SLSOp struct {
+	Table   *EmbeddingTable
+	Lookups int // sparse IDs pooled per sample
+	// Mean selects average pooling (SparseLengthsMean) instead of sum.
+	Mean bool
+}
+
+// NewSLSOp wires a table with its per-sample lookup count.
+func NewSLSOp(table *EmbeddingTable, lookups int) *SLSOp {
+	if lookups <= 0 {
+		panic("nn: SLSOp lookups must be positive")
+	}
+	return &SLSOp{Table: table, Lookups: lookups}
+}
+
+// Name returns the underlying table's label.
+func (s *SLSOp) Name() string { return s.Table.label }
+
+// Kind reports KindSLS.
+func (s *SLSOp) Kind() Kind { return KindSLS }
+
+// Forward pools Lookups rows per sample for a batch of ID lists. ids
+// must contain batch×Lookups entries.
+func (s *SLSOp) Forward(ids []int, batch int) *tensor.Tensor {
+	if len(ids) != batch*s.Lookups {
+		panic(fmt.Sprintf("nn: SLSOp expects %d IDs for batch %d, got %d", batch*s.Lookups, batch, len(ids)))
+	}
+	lengths := make([]int, batch)
+	for i := range lengths {
+		lengths[i] = s.Lookups
+	}
+	if s.Mean {
+		return s.Table.SparseLengthsMean(ids, lengths)
+	}
+	return s.Table.SparseLengthsSum(ids, lengths)
+}
+
+// Stats reports the gather work: each lookup reads one row of Cols fp32
+// elements and accumulates it (one add per element). The access pattern
+// is irregular — rows are scattered across a table far larger than any
+// cache — which is what produces the 8 MPKI LLC miss rates of Figure 5.
+func (s *SLSOp) Stats(batch int) OpStats {
+	rowBytes := bytesF32(s.Table.Cols)
+	gathered := float64(batch * s.Lookups)
+	return OpStats{
+		FLOPs:      gathered * float64(s.Table.Cols), // one add per gathered element
+		ParamBytes: gathered * rowBytes,
+		ReadBytes:  gathered*rowBytes + float64(batch*s.Lookups)*8, // rows + the int64 IDs themselves
+		WriteBytes: bytesF32(batch * s.Table.Cols),
+		Irregular:  true,
+	}
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"recsys/internal/stats"
+	"recsys/internal/tensor"
+)
+
+// FC is a fully-connected (affine) layer: Y = X·W + b, with X of shape
+// [batch, In] and Y of shape [batch, Out]. Weights are stored row-major
+// as [In, Out] so that the GEMM inner loop streams contiguously.
+type FC struct {
+	In, Out int
+	W       *tensor.Tensor // [In, Out]
+	B       []float32      // [Out]
+	label   string
+}
+
+// NewFC returns an FC layer with Xavier/Glorot-uniform initialized
+// weights drawn from rng. It panics on non-positive dimensions.
+func NewFC(label string, in, out int, rng *stats.RNG) *FC {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: FC dimensions must be positive, got %d×%d", in, out))
+	}
+	fc := &FC{In: in, Out: out, W: tensor.New(in, out), B: make([]float32, out), label: label}
+	bound := float32(math.Sqrt(6.0 / float64(in+out)))
+	w := fc.W.Data()
+	for i := range w {
+		w[i] = (rng.Float32()*2 - 1) * bound
+	}
+	for i := range fc.B {
+		fc.B[i] = (rng.Float32()*2 - 1) * 0.01
+	}
+	return fc
+}
+
+// Name returns the layer label.
+func (f *FC) Name() string { return f.label }
+
+// Kind reports KindFC.
+func (f *FC) Kind() Kind { return KindFC }
+
+// Forward computes Y = X·W + b. X must be [batch, In]; the result is a
+// freshly allocated [batch, Out] tensor.
+func (f *FC) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != f.In {
+		panic(fmt.Sprintf("nn: FC %q input shape %v, want [batch %d]", f.label, x.Shape(), f.In))
+	}
+	y := tensor.New(x.Dim(0), f.Out)
+	tensor.Gemm(x, f.W, y)
+	tensor.AddBiasRows(y, f.B)
+	return y
+}
+
+// ParamCount returns the number of learnable parameters.
+func (f *FC) ParamCount() int { return f.In*f.Out + f.Out }
+
+// Stats reports the per-inference work: 2·batch·In·Out FLOPs for the
+// GEMM plus the bias add, streaming reads of W and X, writes of Y.
+func (f *FC) Stats(batch int) OpStats {
+	flops := 2*float64(batch)*float64(f.In)*float64(f.Out) + float64(batch)*float64(f.Out)
+	param := bytesF32(f.In*f.Out + f.Out)
+	return OpStats{
+		FLOPs:      flops,
+		ParamBytes: param,
+		ReadBytes:  param + bytesF32(batch*f.In),
+		WriteBytes: bytesF32(batch * f.Out),
+	}
+}
+
+// MLP is a stack of FC layers with ReLU between them (and optionally on
+// the output), matching the Bottom-FC / Top-FC blocks of Figure 3.
+type MLP struct {
+	Layers    []*FC
+	FinalReLU bool
+	label     string
+}
+
+// NewMLP builds an MLP with the given layer widths. dims must contain
+// at least two entries (input and one output width).
+func NewMLP(label string, dims []int, finalReLU bool, rng *stats.RNG) *MLP {
+	if len(dims) < 2 {
+		panic(fmt.Sprintf("nn: MLP %q needs at least 2 dims, got %v", label, dims))
+	}
+	m := &MLP{FinalReLU: finalReLU, label: label}
+	for i := 0; i+1 < len(dims); i++ {
+		m.Layers = append(m.Layers, NewFC(fmt.Sprintf("%s/fc%d", label, i), dims[i], dims[i+1], rng))
+	}
+	return m
+}
+
+// Name returns the block label.
+func (m *MLP) Name() string { return m.label }
+
+// Kind reports KindFC: an MLP's cycles are FC cycles (activation cycles
+// are accounted separately by the model graph, which inserts explicit
+// ReLU ops).
+func (m *MLP) Kind() Kind { return KindFC }
+
+// InDim returns the expected input width.
+func (m *MLP) InDim() int { return m.Layers[0].In }
+
+// OutDim returns the output width.
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].Out }
+
+// Forward runs the stack, applying ReLU between layers and after the
+// final layer when FinalReLU is set.
+func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for i, fc := range m.Layers {
+		x = fc.Forward(x)
+		if i+1 < len(m.Layers) || m.FinalReLU {
+			ReLUInPlace(x)
+		}
+	}
+	return x
+}
+
+// ParamCount returns total learnable parameters across layers.
+func (m *MLP) ParamCount() int {
+	n := 0
+	for _, fc := range m.Layers {
+		n += fc.ParamCount()
+	}
+	return n
+}
+
+// Stats sums the per-layer FC stats (activations excluded; see Kind).
+func (m *MLP) Stats(batch int) OpStats {
+	var s OpStats
+	for _, fc := range m.Layers {
+		s.Add(fc.Stats(batch))
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+// Package nn implements the neural-network operators that make up
+// personalized-recommendation models: fully-connected layers, embedding
+// tables with SparseLengthsSum pooling (Algorithm 1 of the paper),
+// concatenation, batched matrix multiplication (dot-product feature
+// interaction), element-wise activations, and reference convolution and
+// recurrent cells used for the CNN/RNN comparisons in Figures 2 and 5.
+//
+// Every operator computes real fp32 results and additionally reports
+// OpStats — FLOP and byte counts per inference — which the performance
+// model in internal/perf converts to cycles on a simulated server.
+package nn
+
+import "fmt"
+
+// Kind classifies an operator for the data-center cycle accounting in
+// Figures 4 and 7. The categories mirror the paper's operator breakdown.
+type Kind int
+
+// Operator categories, in the order they appear in Figure 4.
+const (
+	KindFC Kind = iota
+	KindSLS
+	KindConcat
+	KindConv
+	KindBatchMM
+	KindActivation
+	KindRecurrent
+	KindOther
+)
+
+var kindNames = [...]string{
+	KindFC:         "FC",
+	KindSLS:        "SparseLengthsSum",
+	KindConcat:     "Concat",
+	KindConv:       "Conv",
+	KindBatchMM:    "BatchMatMul",
+	KindActivation: "Activation",
+	KindRecurrent:  "Recurrent",
+	KindOther:      "Other",
+}
+
+// String returns the operator-category name used in the paper's figures.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds lists every operator category in display order.
+func Kinds() []Kind {
+	return []Kind{KindFC, KindSLS, KindConcat, KindConv, KindBatchMM, KindActivation, KindRecurrent, KindOther}
+}
+
+// OpStats describes the work one operator performs for a given batch
+// size. Byte counts are what the operator touches in memory assuming no
+// cache reuse; the performance model applies architecture-specific reuse.
+type OpStats struct {
+	// FLOPs counts floating-point operations (a multiply-accumulate
+	// counts as two).
+	FLOPs float64
+	// ParamBytes is the parameter (weight) footprint read per inference.
+	// For SLS this is only the rows actually gathered, not the table.
+	ParamBytes float64
+	// ReadBytes is total bytes read: parameters plus input activations.
+	ReadBytes float64
+	// WriteBytes is bytes written to output activations.
+	WriteBytes float64
+	// Irregular marks gather-style access patterns (embedding lookups)
+	// that defeat hardware prefetchers and caches.
+	Irregular bool
+}
+
+// Add accumulates other into s.
+func (s *OpStats) Add(other OpStats) {
+	s.FLOPs += other.FLOPs
+	s.ParamBytes += other.ParamBytes
+	s.ReadBytes += other.ReadBytes
+	s.WriteBytes += other.WriteBytes
+	s.Irregular = s.Irregular || other.Irregular
+}
+
+// Intensity returns the operational intensity in FLOPs per byte moved,
+// the x-axis of the paper's Figure 5 (left).
+func (s OpStats) Intensity() float64 {
+	total := s.ReadBytes + s.WriteBytes
+	if total == 0 {
+		return 0
+	}
+	return s.FLOPs / total
+}
+
+// Op is the interface shared by all operators: a display name, a
+// category for cycle accounting, and a per-batch work description.
+type Op interface {
+	Name() string
+	Kind() Kind
+	// Stats reports the work performed for one inference of the given
+	// batch size.
+	Stats(batch int) OpStats
+}
+
+// bytesF32 converts an element count to bytes for fp32 storage.
+func bytesF32(elems int) float64 { return float64(elems) * 4 }

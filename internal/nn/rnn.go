@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"recsys/internal/stats"
+	"recsys/internal/tensor"
+)
+
+// LSTMCell is a single long short-term memory cell, the RNN reference
+// point for Figures 2 and 5 (the paper's RNN examples are GNMT and
+// DeepSpeech2). Gates are computed as
+//
+//	[i f g o] = x·Wx + h·Wh + b
+//
+// with Wx of shape [In, 4·Hidden] and Wh of shape [Hidden, 4·Hidden].
+type LSTMCell struct {
+	In, Hidden int
+	Wx, Wh     *tensor.Tensor
+	B          []float32
+	label      string
+}
+
+// NewLSTMCell builds a cell with random weights.
+func NewLSTMCell(label string, in, hidden int, rng *stats.RNG) *LSTMCell {
+	if in <= 0 || hidden <= 0 {
+		panic(fmt.Sprintf("nn: LSTM dimensions must be positive, got %d, %d", in, hidden))
+	}
+	c := &LSTMCell{
+		In: in, Hidden: hidden,
+		Wx: tensor.New(in, 4*hidden), Wh: tensor.New(hidden, 4*hidden),
+		B: make([]float32, 4*hidden), label: label,
+	}
+	bound := float32(math.Sqrt(1.0 / float64(hidden)))
+	for _, w := range []*tensor.Tensor{c.Wx, c.Wh} {
+		d := w.Data()
+		for i := range d {
+			d[i] = (rng.Float32()*2 - 1) * bound
+		}
+	}
+	return c
+}
+
+// Name returns the cell label.
+func (c *LSTMCell) Name() string { return c.label }
+
+// Kind reports KindRecurrent.
+func (c *LSTMCell) Kind() Kind { return KindRecurrent }
+
+// Step advances the cell one timestep. x is [batch, In]; h and cPrev are
+// [batch, Hidden]. It returns the new hidden and cell states.
+func (c *LSTMCell) Step(x, h, cPrev *tensor.Tensor) (hNext, cNext *tensor.Tensor) {
+	batch := x.Dim(0)
+	if x.Dim(1) != c.In || h.Dim(0) != batch || h.Dim(1) != c.Hidden || cPrev.Dim(0) != batch || cPrev.Dim(1) != c.Hidden {
+		panic(fmt.Sprintf("nn: LSTM %q shapes x=%v h=%v c=%v", c.label, x.Shape(), h.Shape(), cPrev.Shape()))
+	}
+	gates := tensor.New(batch, 4*c.Hidden)
+	tensor.Gemm(x, c.Wx, gates)
+	tensor.Gemm(h, c.Wh, gates)
+	tensor.AddBiasRows(gates, c.B)
+
+	hNext = tensor.New(batch, c.Hidden)
+	cNext = tensor.New(batch, c.Hidden)
+	for b := 0; b < batch; b++ {
+		g := gates.Row(b)
+		cp := cPrev.Row(b)
+		hn := hNext.Row(b)
+		cn := cNext.Row(b)
+		for j := 0; j < c.Hidden; j++ {
+			i := sigmoid(g[j])
+			f := sigmoid(g[c.Hidden+j])
+			gg := float32(math.Tanh(float64(g[2*c.Hidden+j])))
+			o := sigmoid(g[3*c.Hidden+j])
+			cn[j] = f*cp[j] + i*gg
+			hn[j] = o * float32(math.Tanh(float64(cn[j])))
+		}
+	}
+	return hNext, cNext
+}
+
+func sigmoid(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+// ParamCount returns the number of learnable parameters.
+func (c *LSTMCell) ParamCount() int {
+	return c.In*4*c.Hidden + c.Hidden*4*c.Hidden + 4*c.Hidden
+}
+
+// Stats reports the work of one timestep: two GEMMs into the gate
+// buffer plus the element-wise gate math.
+func (c *LSTMCell) Stats(batch int) OpStats {
+	gemmFLOPs := 2 * float64(batch) * float64(c.In+c.Hidden) * float64(4*c.Hidden)
+	gateFLOPs := float64(batch) * float64(c.Hidden) * 20 // sigmoid/tanh/elementwise per unit
+	param := bytesF32(c.ParamCount())
+	return OpStats{
+		FLOPs:      gemmFLOPs + gateFLOPs,
+		ParamBytes: param,
+		ReadBytes:  param + bytesF32(batch*(c.In+2*c.Hidden)),
+		WriteBytes: bytesF32(batch * 2 * c.Hidden),
+	}
+}

@@ -1,0 +1,119 @@
+// Package profile measures where wall-clock time goes in *real* model
+// execution (as opposed to the simulated timings of internal/perf):
+// per-operator-group durations of an actual forward pass on the host
+// CPU. It is the repository's analogue of the paper's Caffe2 operator
+// profiling, and lets the simulated breakdowns of Figure 7 be
+// sanity-checked against real execution of scaled models.
+package profile
+
+import (
+	"fmt"
+	"time"
+
+	"recsys/internal/model"
+	"recsys/internal/nn"
+	"recsys/internal/tensor"
+)
+
+// Span is one timed stage of a forward pass.
+type Span struct {
+	Name     string
+	Kind     nn.Kind
+	Duration time.Duration
+}
+
+// Profile is the timing of one (or several averaged) forward passes.
+type Profile struct {
+	Spans []Span
+	Total time.Duration
+}
+
+// KindFraction returns the share of total time in the given kinds.
+func (p Profile) KindFraction(kinds ...nn.Kind) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range p.Spans {
+		for _, k := range kinds {
+			if s.Kind == k {
+				sum += s.Duration
+				break
+			}
+		}
+	}
+	return float64(sum) / float64(p.Total)
+}
+
+// String renders the profile as a per-stage table.
+func (p Profile) String() string {
+	out := fmt.Sprintf("total %v\n", p.Total)
+	for _, s := range p.Spans {
+		out += fmt.Sprintf("  %-28s %-16s %v\n", s.Name, s.Kind, s.Duration)
+	}
+	return out
+}
+
+// Forward runs one instrumented forward pass, returning the output and
+// the per-stage timing. The computation is identical to Model.Forward.
+func Forward(m *model.Model, req model.Request) (*tensor.Tensor, Profile) {
+	var p Profile
+	span := func(name string, kind nn.Kind, f func()) {
+		start := time.Now()
+		f()
+		d := time.Since(start)
+		p.Spans = append(p.Spans, Span{Name: name, Kind: kind, Duration: d})
+		p.Total += d
+	}
+
+	var parts []*tensor.Tensor
+	if m.Bottom != nil {
+		var out *tensor.Tensor
+		span(m.Bottom.Name(), nn.KindFC, func() { out = m.Bottom.Forward(req.Dense) })
+		parts = append(parts, out)
+	}
+	for i, op := range m.SLS {
+		i, op := i, op
+		var out *tensor.Tensor
+		span(op.Name(), nn.KindSLS, func() { out = op.Forward(req.SparseIDs[i], req.Batch) })
+		parts = append(parts, out)
+	}
+	var x *tensor.Tensor
+	span(m.ConcatOp.Name(), nn.KindConcat, func() { x = m.ConcatOp.Forward(parts) })
+	if m.Interact != nil {
+		span(m.Interact.Name(), nn.KindBatchMM, func() { x = m.Interact.Forward(x) })
+	}
+	span(m.Top.Name(), nn.KindFC, func() { x = m.Top.Forward(x) })
+	span("sigmoid", nn.KindActivation, func() { nn.SigmoidInPlace(x) })
+	return x, p
+}
+
+// Average runs n instrumented passes and returns the profile with
+// per-stage durations averaged (the first pass is treated as warmup
+// and discarded when n > 1).
+func Average(m *model.Model, req model.Request, n int) Profile {
+	if n <= 0 {
+		panic("profile: pass count must be positive")
+	}
+	_, first := Forward(m, req)
+	if n == 1 {
+		return first
+	}
+	var acc Profile
+	for i := 0; i < n; i++ {
+		_, p := Forward(m, req)
+		if acc.Spans == nil {
+			acc = p
+			continue
+		}
+		for j := range acc.Spans {
+			acc.Spans[j].Duration += p.Spans[j].Duration
+		}
+		acc.Total += p.Total
+	}
+	for j := range acc.Spans {
+		acc.Spans[j].Duration /= time.Duration(n)
+	}
+	acc.Total /= time.Duration(n)
+	return acc
+}

@@ -1,0 +1,109 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtEmbCache(t *testing.T) {
+	rows := ExtEmbCache(1)
+	if len(rows) != 18 { // 3 traces × 3 policies × 2 capacities
+		t.Fatalf("rows = %d, want 18", len(rows))
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		if r.HitRate < 0 || r.HitRate > 1 {
+			t.Fatalf("hit rate %v out of range", r.HitRate)
+		}
+		if r.TieredSpeedup < 1 {
+			t.Fatalf("tiered speedup %v below 1", r.TieredSpeedup)
+		}
+		byKey[r.Trace+"/"+r.Policy+"/"+pct(r.CapacityFrac)] = r.HitRate
+	}
+	// Skewed traces must cache far better than uniform.
+	if byKey["zipf(1.1)/LRU/  5.0%"] <= byKey["uniform/LRU/  5.0%"]+0.1 {
+		t.Error("zipf trace should cache far better than uniform")
+	}
+	if !strings.Contains(RenderExtEmbCache(rows), "Hit rate") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestExtQuant(t *testing.T) {
+	rows := ExtQuant()
+	byModel := map[string]ExtQuantRow{}
+	for _, r := range rows {
+		byModel[r.Model] = r
+	}
+	if byModel["RMC2-small"].Speedup < 2 {
+		t.Errorf("RMC2 int8 speedup %.2f, want > 2", byModel["RMC2-small"].Speedup)
+	}
+	if byModel["RMC3-small"].Speedup > 1.1 {
+		t.Errorf("RMC3 int8 speedup %.2f, should be marginal", byModel["RMC3-small"].Speedup)
+	}
+	if !strings.Contains(RenderExtQuant(rows), "int8") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestExtShard(t *testing.T) {
+	rows := ExtShard()
+	if rows[0].Shards != 1 || rows[len(rows)-1].Shards != 32 {
+		t.Fatal("shard sweep range wrong")
+	}
+	// Latency decreases with shards, then flattens at the network floor.
+	if rows[2].TotalUS >= rows[0].TotalUS {
+		t.Error("4 shards should beat 1")
+	}
+	if rows[len(rows)-1].Speedup < 2 {
+		t.Errorf("32-shard speedup %.2f, want > 2", rows[len(rows)-1].Speedup)
+	}
+	if !strings.Contains(RenderExtShard(rows), "Shards") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestExtBatching(t *testing.T) {
+	rows := ExtBatching(3)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[2].GoodputQPS <= rows[0].GoodputQPS {
+		t.Errorf("batch<=64 goodput %.0f should beat unit %.0f", rows[2].GoodputQPS, rows[0].GoodputQPS)
+	}
+	if !strings.Contains(RenderExtBatching(rows), "Goodput") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestExtCapacity(t *testing.T) {
+	r := ExtCapacity()
+	if r.Heterogeneous <= 0 {
+		t.Fatal("no sockets planned")
+	}
+	for name, n := range r.Homogeneous {
+		if r.Heterogeneous > n {
+			t.Errorf("mixed fleet (%d) worse than all-%s (%d)", r.Heterogeneous, name, n)
+		}
+	}
+	if !strings.Contains(RenderExtCapacity(r), "Sockets") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestExtTrain(t *testing.T) {
+	points := ExtTrain(5)
+	if len(points) < 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	first, last := points[0], points[len(points)-1]
+	if last.Loss >= first.Loss {
+		t.Errorf("loss did not fall: %.4f -> %.4f", first.Loss, last.Loss)
+	}
+	if last.AUC <= first.AUC || last.AUC < 0.6 {
+		t.Errorf("AUC did not climb above 0.6: %.3f -> %.3f", first.AUC, last.AUC)
+	}
+	if !strings.Contains(RenderExtTrain(points), "AUC") {
+		t.Error("render incomplete")
+	}
+}

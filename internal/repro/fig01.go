@@ -1,0 +1,48 @@
+package repro
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"recsys/internal/fleet"
+)
+
+// Figure1Result is the data-center cycle composition of Figure 1.
+type Figure1Result struct {
+	// ByService maps service name to its share of AI inference cycles.
+	ByService map[string]float64
+	// TopRMCShare is the combined RMC1+RMC2+RMC3 share (paper: 65%).
+	TopRMCShare float64
+	// RecommendationShare is all recommendation services (paper: ≥79%).
+	RecommendationShare float64
+}
+
+// Figure1 computes the fleet cycle composition from the default mix.
+func Figure1() Figure1Result {
+	f := fleet.DefaultFleet()
+	return Figure1Result{
+		ByService:           f.CyclesByService(),
+		TopRMCShare:         f.TopRMCShare(),
+		RecommendationShare: f.RecommendationShare(),
+	}
+}
+
+// Render prints the Figure 1 composition.
+func (r Figure1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 1: share of data-center AI inference cycles by service\n\n")
+	t := newTable("Service", "Cycle share")
+	names := make([]string, 0, len(r.ByService))
+	for n := range r.ByService {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return r.ByService[names[i]] > r.ByService[names[j]] })
+	for _, n := range names {
+		t.add(n, pct(r.ByService[n]))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nRMC1+RMC2+RMC3: %s (paper: 65%%)\n", pct(r.TopRMCShare))
+	fmt.Fprintf(&b, "All recommendation: %s (paper: >=79%%)\n", pct(r.RecommendationShare))
+	return b.String()
+}

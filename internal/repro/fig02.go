@@ -1,0 +1,31 @@
+package repro
+
+import (
+	"strings"
+
+	"recsys/internal/model"
+)
+
+// Figure2Result is the FLOPs-vs-bytes scatter of Figure 2.
+type Figure2Result struct {
+	Points []model.WorkloadPoint
+}
+
+// Figure2 computes per-inference FLOPs and bytes read for the RMC
+// classes, MLPerf-NCF, and the CNN/RNN references at unit batch.
+func Figure2() Figure2Result {
+	return Figure2Result{Points: model.Figure2Points()}
+}
+
+// Render prints the scatter coordinates.
+func (r Figure2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: per-inference FLOPs vs bytes read (unit batch)\n\n")
+	t := newTable("Workload", "Family", "FLOPs", "Bytes read", "FLOPs/Byte")
+	for _, p := range r.Points {
+		t.addf("%s|%s|%.3g|%.3g|%.3f", p.Name, p.Family, p.FLOPs, p.Bytes, p.FLOPs/p.Bytes)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nRMCs occupy the low-FLOPs / low-intensity corner; CNNs the high-FLOPs,\nhigh-intensity corner; NCF is below every production model.\n")
+	return b.String()
+}

@@ -1,0 +1,206 @@
+package repro
+
+import (
+	"strings"
+
+	"recsys/internal/arch"
+	"recsys/internal/cache"
+	"recsys/internal/nn"
+	"recsys/internal/stats"
+)
+
+// Figure5Row characterizes one operator type: operational intensity
+// (Figure 5 left) and LLC MPKI measured through the cache simulator on
+// Broadwell (Figure 5 right).
+type Figure5Row struct {
+	Op        string
+	Intensity float64 // FLOPs per byte moved
+	MPKI      float64 // LLC misses per 1000 instructions
+	// TLBMissRate is data-TLB misses per memory access (4KB pages,
+	// 1536-entry TLB) — the exacerbating factor §II-C mentions.
+	TLBMissRate float64
+}
+
+// Figure5 drives representative operator memory-access streams through
+// the simulated Broadwell hierarchy: a SparseLengthsSum gather over a
+// DRAM-resident table, an FC layer, a ResNet-interior convolution, and
+// an LSTM timestep. Instruction counts are estimated from the work each
+// op performs (vectorized FLOPs for GEMM-family ops, scalar-ish loops
+// for SLS). The result reproduces the paper's ordering: SLS has ~50×
+// lower compute intensity than FC and an order of magnitude higher
+// LLC miss rate than any dense operator.
+func Figure5(seed uint64) []Figure5Row {
+	rng := stats.NewRNG(seed)
+	bdw := arch.Broadwell()
+
+	rows := []Figure5Row{
+		slsProfile(bdw, rng.Split()),
+		fcProfile(bdw, rng.Split()),
+		convProfile(bdw, rng.Split()),
+		lstmProfile(bdw, rng.Split()),
+	}
+	return rows
+}
+
+// Address-space bases keep op regions disjoint.
+const (
+	tableBase   = 1 << 40
+	weightBase  = 1 << 41
+	actBase     = 1 << 42
+	freshStride = 1 << 20
+)
+
+// touchRange streams size bytes starting at base through the hierarchy
+// and the TLB.
+func touchRange(h *cache.Hierarchy, tlb *cache.TLB, base uint64, size int) {
+	for off := 0; off < size; off += cache.LineBytes {
+		addr := base + uint64(off)
+		h.Access(0, addr)
+		tlb.Access(addr)
+	}
+}
+
+// newTLB returns the data TLB used by every profile: 1536 entries,
+// 4-way, 4KB pages (a Broadwell-class STLB).
+func newTLB() *cache.TLB { return cache.NewTLB(1536, 4, cache.Page4K) }
+
+// warmups and measured iterations per profile.
+const (
+	warmIters    = 3
+	measureIters = 20
+)
+
+// freshFrac is the fraction of input activations that are cold per
+// inference (the rest were just produced by the previous operator and
+// are cache-resident).
+const freshFrac = 0.1
+
+func slsProfile(m arch.Machine, rng *stats.RNG) Figure5Row {
+	h := cache.NewHierarchy(m, 1)
+	tlb := newTLB()
+	const (
+		rows    = 10_000_000 // far beyond any LLC
+		cols    = 32
+		lookups = 80
+	)
+	rowBytes := cols * 4
+	op := nn.NewSLSOp(nn.NewEmbeddingTableSpec("emb", rows, cols), lookups)
+	var instr uint64
+	fresh := uint64(0)
+	for iter := 0; iter < warmIters+measureIters; iter++ {
+		if iter == warmIters {
+			h.ResetStats()
+			tlb.ResetStats()
+			instr = 0
+		}
+		for l := 0; l < lookups; l++ {
+			row := uint64(rng.Intn(rows))
+			touchRange(h, tlb, tableBase+row*uint64(rowBytes), rowBytes)
+			// Scalar gather-accumulate loop: load, add, index math,
+			// branch per element plus per-lookup overhead.
+			instr += cols*5 + 50
+		}
+		// The sparse-ID vector itself streams through fresh addresses.
+		touchRange(h, tlb, actBase+fresh, lookups*8)
+		fresh += freshStride
+		instr += lookups * 2
+	}
+	return Figure5Row{Op: "SparseLengthsSum", Intensity: op.Stats(1).Intensity(), MPKI: h.MPKI(0, instr), TLBMissRate: tlb.MissRate()}
+}
+
+func fcProfile(m arch.Machine, rng *stats.RNG) Figure5Row {
+	h := cache.NewHierarchy(m, 1)
+	tlb := newTLB()
+	// FC layers run in the batched serving regime (batch 16); RNN cells
+	// decode at small effective batch, which is why the paper measures
+	// FC at 18 FLOPs/byte but RNN at only 5.5.
+	const in, out, batch = 512, 512, 16
+	op := nn.NewFCSpec("fc", in, out)
+	weightBytes := in * out * 4
+	var instr uint64
+	fresh := uint64(0)
+	for iter := 0; iter < warmIters+measureIters; iter++ {
+		if iter == warmIters {
+			h.ResetStats()
+			tlb.ResetStats()
+			instr = 0
+		}
+		touchRange(h, tlb, weightBase, weightBytes)
+		// A fraction of the input arrives cold from the previous stage.
+		inputBytes := batch * in * 4
+		coldBytes := int(freshFrac * float64(inputBytes))
+		touchRange(h, tlb, actBase+fresh, coldBytes)
+		fresh += freshStride
+		// Vectorized GEMM: ~16 FLOPs per AVX-2 FMA instruction plus
+		// ~50% load/bookkeeping instructions.
+		instr += uint64(op.Stats(batch).FLOPs / 16 * 1.5)
+	}
+	_ = rng
+	return Figure5Row{Op: "FC", Intensity: op.Stats(batch).Intensity(), MPKI: h.MPKI(0, instr), TLBMissRate: tlb.MissRate()}
+}
+
+func convProfile(m arch.Machine, rng *stats.RNG) Figure5Row {
+	h := cache.NewHierarchy(m, 1)
+	tlb := newTLB()
+	// ResNet-50 interior layer: 64→64 channels, 3×3, 56×56.
+	op := nn.NewConv2D("conv", 64, 64, 3, 1, 1, 56, 56, stats.NewRNG(1))
+	weightBytes := op.ParamCount() * 4
+	inBytes := 64 * 56 * 56 * 4
+	var instr uint64
+	fresh := uint64(0)
+	for iter := 0; iter < warmIters+measureIters; iter++ {
+		if iter == warmIters {
+			h.ResetStats()
+			tlb.ResetStats()
+			instr = 0
+		}
+		touchRange(h, tlb, weightBase, weightBytes)
+		touchRange(h, tlb, actBase, inBytes) // activations stay resident
+		coldBytes := int(freshFrac * float64(inBytes) * 0.5)
+		touchRange(h, tlb, actBase+uint64(inBytes)+fresh, coldBytes)
+		fresh += freshStride
+		instr += uint64(op.Stats(1).FLOPs / 16 * 1.5)
+	}
+	_ = rng
+	return Figure5Row{Op: "CNN", Intensity: op.Stats(1).Intensity(), MPKI: h.MPKI(0, instr), TLBMissRate: tlb.MissRate()}
+}
+
+func lstmProfile(m arch.Machine, rng *stats.RNG) Figure5Row {
+	h := cache.NewHierarchy(m, 1)
+	tlb := newTLB()
+	// GNMT-class cell at small decode batch; weights fit the LLC.
+	op := nn.NewLSTMCell("lstm", 1024, 1024, stats.NewRNG(1))
+	weightBytes := op.ParamCount() * 4
+	const batch = 4
+	stateBytes := batch * 2 * 1024 * 4
+	var instr uint64
+	fresh := uint64(0)
+	for iter := 0; iter < warmIters+measureIters; iter++ {
+		if iter == warmIters {
+			h.ResetStats()
+			tlb.ResetStats()
+			instr = 0
+		}
+		touchRange(h, tlb, weightBase, weightBytes)
+		touchRange(h, tlb, actBase, stateBytes)
+		// Each timestep consumes a fresh input token embedding.
+		touchRange(h, tlb, actBase+uint64(stateBytes)+fresh, batch*1024*4)
+		fresh += freshStride
+		instr += uint64(op.Stats(batch).FLOPs / 16 * 1.5)
+	}
+	_ = rng
+	return Figure5Row{Op: "RNN", Intensity: op.Stats(batch).Intensity(), MPKI: h.MPKI(0, instr), TLBMissRate: tlb.MissRate()}
+}
+
+// RenderFigure5 prints the Figure 5 comparison.
+func RenderFigure5(rows []Figure5Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: operator compute intensity (left) and LLC MPKI on Broadwell (right)\n\n")
+	t := newTable("Operator", "FLOPs/Byte", "LLC MPKI", "dTLB miss/access")
+	for _, r := range rows {
+		t.addf("%s|%.2f|%.2f|%.4f", r.Op, r.Intensity, r.MPKI, r.TLBMissRate)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nPaper: SLS 0.25 FLOPs/B and ~8 MPKI vs FC 18/0.2, CNN 141/0.06, RNN 5.5/0.5.\n")
+	return b.String()
+}

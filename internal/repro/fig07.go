@@ -1,0 +1,57 @@
+package repro
+
+import (
+	"strings"
+
+	"recsys/internal/arch"
+	"recsys/internal/model"
+	"recsys/internal/nn"
+	"recsys/internal/perf"
+)
+
+// Figure7Row is one model's unit-batch latency and operator breakdown
+// on Broadwell.
+type Figure7Row struct {
+	Model     string
+	LatencyUS float64
+	// Shares by operator group, as fractions of total time.
+	FCBatchMM float64
+	SLS       float64
+	Concat    float64
+	Rest      float64
+}
+
+// Figure7 measures unit-batch inference latency and the operator
+// breakdown of the three model classes on Broadwell.
+func Figure7() []Figure7Row {
+	bdw := arch.Broadwell()
+	var rows []Figure7Row
+	for _, cfg := range model.Defaults() {
+		mt := perf.Estimate(cfg, perf.NewContext(bdw, 1))
+		fc := mt.KindFraction(nn.KindFC, nn.KindBatchMM)
+		sls := mt.KindFraction(nn.KindSLS)
+		cat := mt.KindFraction(nn.KindConcat)
+		rows = append(rows, Figure7Row{
+			Model:     cfg.Name,
+			LatencyUS: mt.TotalUS,
+			FCBatchMM: fc,
+			SLS:       sls,
+			Concat:    cat,
+			Rest:      1 - fc - sls - cat,
+		})
+	}
+	return rows
+}
+
+// RenderFigure7 prints the latency table and breakdown.
+func RenderFigure7(rows []Figure7Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: unit-batch latency and operator breakdown on Broadwell\n\n")
+	t := newTable("Model", "Latency", "FC+BatchMM", "SLS", "Concat", "Rest")
+	for _, r := range rows {
+		t.add(r.Model, us(r.LatencyUS), pct(r.FCBatchMM), pct(r.SLS), pct(r.Concat), pct(r.Rest))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nPaper: RMC1 0.04ms (61% FC, 20% SLS), RMC2 0.30ms (80% SLS), RMC3 0.60ms (>96% FC).\n")
+	return b.String()
+}

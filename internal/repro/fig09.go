@@ -1,0 +1,62 @@
+package repro
+
+import (
+	"strings"
+
+	"recsys/internal/arch"
+	"recsys/internal/model"
+	"recsys/internal/nn"
+	"recsys/internal/perf"
+)
+
+// Figure9Row is one (model, tenants) co-location measurement on
+// Broadwell at batch 32, normalized to the solo latency.
+type Figure9Row struct {
+	Model      string
+	Tenants    int
+	Normalized float64 // latency / solo latency
+	// Absolute per-group times, normalized to solo total, matching the
+	// stacked bars of Figure 9.
+	FC, SLS, Rest float64
+}
+
+// Figure9Tenants are the co-location degrees the paper plots.
+var Figure9Tenants = []int{1, 2, 4, 8}
+
+// Figure9 measures per-model latency degradation under co-location on
+// Broadwell at batch 32.
+func Figure9() []Figure9Row {
+	bdw := arch.Broadwell()
+	var rows []Figure9Row
+	for _, cfg := range model.Defaults() {
+		solo := perf.Estimate(cfg, perf.Context{Machine: bdw, Batch: 32, Tenants: 1}).TotalUS
+		for _, n := range Figure9Tenants {
+			mt := perf.Estimate(cfg, perf.Context{Machine: bdw, Batch: 32, Tenants: n})
+			by := mt.ByKind()
+			fc := by[nn.KindFC] + by[nn.KindBatchMM]
+			sls := by[nn.KindSLS]
+			rows = append(rows, Figure9Row{
+				Model:      cfg.Name,
+				Tenants:    n,
+				Normalized: mt.TotalUS / solo,
+				FC:         fc / solo,
+				SLS:        sls / solo,
+				Rest:       (mt.TotalUS - fc - sls) / solo,
+			})
+		}
+	}
+	return rows
+}
+
+// RenderFigure9 prints the normalized stacked bars.
+func RenderFigure9(rows []Figure9Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 9: co-location on Broadwell (batch 32), latency normalized to solo\n\n")
+	t := newTable("Model", "N", "Total", "FC", "SLS", "Rest")
+	for _, r := range rows {
+		t.addf("%s|%d|%.2fx|%.2f|%.2f|%.2f", r.Model, r.Tenants, r.Normalized, r.FC, r.SLS, r.Rest)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nPaper: at N=8 latency degrades 1.3x / 2.6x / 1.6x for RMC1/RMC2/RMC3;\nSLS degrades ~3x and FC ~1.6x for RMC2.\n")
+	return b.String()
+}

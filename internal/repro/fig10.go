@@ -1,0 +1,52 @@
+package repro
+
+import (
+	"strings"
+
+	"recsys/internal/arch"
+	"recsys/internal/model"
+	"recsys/internal/sched"
+)
+
+// Figure10Point is one (machine, tenants) point of the
+// latency-throughput tradeoff for RMC2.
+type Figure10Point struct {
+	Machine    string
+	Tenants    int
+	LatencyUS  float64
+	Throughput float64 // items/s, zero if the 450ms SLA is violated
+}
+
+// Figure10SLAUS is the paper's SLA bound for this experiment.
+const Figure10SLAUS = 450_000
+
+// Figure10 sweeps co-location degree for RMC2 (batch 32) on all three
+// machines, reporting the latency-throughput curve under a 450ms SLA.
+func Figure10() []Figure10Point {
+	cfg := model.RMC2Small()
+	var pts []Figure10Point
+	for _, m := range arch.Machines() {
+		for _, p := range sched.LatencyThroughputCurve(cfg, m, 32, m.CoresPerSocket) {
+			pts = append(pts, Figure10Point{
+				Machine:    m.Name,
+				Tenants:    p.Tenants,
+				LatencyUS:  p.LatencyUS,
+				Throughput: sched.LatencyBoundedThroughput(p, Figure10SLAUS),
+			})
+		}
+	}
+	return pts
+}
+
+// RenderFigure10 prints the tradeoff curves.
+func RenderFigure10(pts []Figure10Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 10: latency/throughput tradeoff, RMC2 batch 32, 450ms SLA\n\n")
+	t := newTable("Machine", "Tenants", "Latency", "Throughput (items/s)")
+	for _, p := range pts {
+		t.addf("%s|%d|%s|%.0f", p.Machine, p.Tenants, us(p.LatencyUS), p.Throughput)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nPaper: Broadwell best under low co-location (latency); Skylake optimal\nunder high co-location (throughput), with a latency cliff past ~16 jobs\nfrom LLC-share exhaustion.\n")
+	return b.String()
+}

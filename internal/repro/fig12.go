@@ -1,0 +1,53 @@
+package repro
+
+import (
+	"strings"
+
+	"recsys/internal/arch"
+	"recsys/internal/model"
+	"recsys/internal/perf"
+)
+
+// Figure12Row compares one production model against MLPerf-NCF, all
+// quantities normalized to NCF (the paper's Figure 12 axes).
+type Figure12Row struct {
+	Model string
+	// Ratios vs NCF.
+	Latency, FCParams, EmbStorage, Lookups float64
+}
+
+// Figure12 computes the production-vs-NCF ratios at unit batch on
+// Broadwell.
+func Figure12() []Figure12Row {
+	bdw := arch.Broadwell()
+	ncf := model.MLPerfNCF()
+	ncfLat := perf.Estimate(ncf, perf.NewContext(bdw, 1)).TotalUS
+	ncfFC := float64(ncf.MLPParams())
+	ncfEmb := float64(ncf.EmbeddingBytes())
+	ncfLook := float64(ncf.LookupsPerSample())
+	var rows []Figure12Row
+	for _, cfg := range model.Defaults() {
+		lat := perf.Estimate(cfg, perf.NewContext(bdw, 1)).TotalUS
+		rows = append(rows, Figure12Row{
+			Model:      cfg.Name,
+			Latency:    lat / ncfLat,
+			FCParams:   float64(cfg.MLPParams()) / ncfFC,
+			EmbStorage: float64(cfg.EmbeddingBytes()) / ncfEmb,
+			Lookups:    float64(cfg.LookupsPerSample()) / ncfLook,
+		})
+	}
+	return rows
+}
+
+// RenderFigure12 prints the normalized comparison.
+func RenderFigure12(rows []Figure12Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 12: production models normalized to MLPerf-NCF (=1.0)\n\n")
+	t := newTable("Model", "Latency", "FC params", "Emb. storage", "Lookups/sample")
+	for _, r := range rows {
+		t.addf("%s|%.1fx|%.1fx|%.1fx|%.0fx", r.Model, r.Latency, r.FCParams, r.EmbStorage, r.Lookups)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nPaper: production models have orders-of-magnitude longer latency,\nlarger embedding tables, and bigger FC layers than MLPerf-NCF.\n")
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"recsys/internal/stats"
+	"recsys/internal/trace"
+)
+
+// Figure14Row is the unique-sparse-ID fraction of one trace.
+type Figure14Row struct {
+	Trace          string
+	UniqueFraction float64
+}
+
+// Figure14 measures unique-ID fractions for a random baseline and the
+// ten synthetic production traces, over a 4096-lookup window per table.
+func Figure14(seed uint64) []Figure14Row {
+	rng := stats.NewRNG(seed)
+	const rows = 1_000_000
+	const window = 4096
+	out := []Figure14Row{{
+		Trace:          "random",
+		UniqueFraction: trace.UniqueFraction(trace.NewUniform(rows, rng.Split()), window),
+	}}
+	for i, g := range trace.ProductionTraces(rows, rng.Split()) {
+		out = append(out, Figure14Row{
+			Trace:          fmt.Sprintf("trace %d (%s)", i+1, g.Name()),
+			UniqueFraction: trace.UniqueFraction(g, window),
+		})
+	}
+	return out
+}
+
+// RenderFigure14 prints the per-trace uniqueness.
+func RenderFigure14(rows []Figure14Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 14: percent of unique sparse IDs per trace (4096-lookup window)\n\n")
+	t := newTable("Trace", "Unique IDs")
+	for _, r := range rows {
+		t.add(r.Trace, pct(r.UniqueFraction))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nPaper: production traces span ~20%-95% unique IDs vs ~100% for random,\nenabling caching and prefetching optimizations.\n")
+	return b.String()
+}

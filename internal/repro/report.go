@@ -1,0 +1,86 @@
+// Package repro regenerates every table and figure of the paper's
+// evaluation from the simulator: fleet cycle accounting (Figures 1, 4),
+// workload characterization (Figures 2, 5, 12, Table I), single-model
+// performance (Figures 7, 8), co-location (Figures 9, 10),
+// tail latency (Figure 11), and sparse-ID locality (Figure 14).
+//
+// Each Figure*/Table* function returns a typed result whose Render
+// method prints the same rows or series the paper reports. The
+// DESIGN.md per-experiment index maps each function to its figure.
+package repro
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table renders rows of columns with aligned widths.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table {
+	return &table{header: header}
+}
+
+func (t *table) add(cols ...string) {
+	t.rows = append(t.rows, cols)
+}
+
+func (t *table) addf(format string, args ...any) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+// String renders the table with padded columns.
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cols)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%5.1f%%", f*100) }
+
+// us formats microseconds.
+func us(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fs", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fms", v/1e3)
+	default:
+		return fmt.Sprintf("%.1fµs", v)
+	}
+}

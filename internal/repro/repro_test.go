@@ -1,0 +1,306 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"recsys/internal/nn"
+)
+
+func TestFigure1MatchesPaper(t *testing.T) {
+	r := Figure1()
+	if r.TopRMCShare < 0.63 || r.TopRMCShare > 0.67 {
+		t.Errorf("RMC1-3 share %.3f, paper 0.65", r.TopRMCShare)
+	}
+	if r.RecommendationShare < 0.79 {
+		t.Errorf("recommendation share %.3f, paper >= 0.79", r.RecommendationShare)
+	}
+	if !strings.Contains(r.Render(), "RMC1") {
+		t.Error("render missing services")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	r := Figure2()
+	byName := map[string]float64{}
+	for _, p := range r.Points {
+		byName[p.Name] = p.FLOPs
+	}
+	if byName["VGG16"] < byName["ResNet50"] {
+		t.Error("VGG16 should have the most FLOPs among CNNs")
+	}
+	if !strings.Contains(r.Render(), "MLPerf-NCF") {
+		t.Error("render missing NCF")
+	}
+}
+
+func TestFigure4MatchesPaper(t *testing.T) {
+	r := Figure4()
+	if s := r.Total(nn.KindSLS); s < 0.10 || s > 0.20 {
+		t.Errorf("SLS share %.3f, paper ~0.15", s)
+	}
+	if r.Total(nn.KindFC) < r.Total(nn.KindSLS) {
+		t.Error("FC should be the largest operator")
+	}
+	if !strings.Contains(r.Render(), "SparseLengthsSum") {
+		t.Error("render missing SLS row")
+	}
+}
+
+// TestFigure5MatchesPaper checks both panels: the intensity ordering
+// SLS << RNN/FC << CNN, and the MPKI ordering SLS >> all dense ops,
+// with SLS in the paper's 1-10 MPKI band.
+func TestFigure5MatchesPaper(t *testing.T) {
+	rows := Figure5(42)
+	byOp := map[string]Figure5Row{}
+	for _, r := range rows {
+		byOp[r.Op] = r
+	}
+	sls, fc, cnn, rnn := byOp["SparseLengthsSum"], byOp["FC"], byOp["CNN"], byOp["RNN"]
+
+	if sls.Intensity > 0.5 {
+		t.Errorf("SLS intensity %.2f, paper ~0.25", sls.Intensity)
+	}
+	if !(sls.Intensity < rnn.Intensity && rnn.Intensity < fc.Intensity && fc.Intensity < cnn.Intensity) {
+		t.Errorf("intensity ordering violated: SLS %.2f RNN %.2f FC %.2f CNN %.2f",
+			sls.Intensity, rnn.Intensity, fc.Intensity, cnn.Intensity)
+	}
+	if sls.MPKI < 1 || sls.MPKI > 20 {
+		t.Errorf("SLS MPKI %.2f, paper reports 1-10", sls.MPKI)
+	}
+	for _, dense := range []Figure5Row{fc, cnn, rnn} {
+		if dense.MPKI >= sls.MPKI/3 {
+			t.Errorf("%s MPKI %.2f should be far below SLS %.2f", dense.Op, dense.MPKI, sls.MPKI)
+		}
+	}
+	if cnn.MPKI >= 2 {
+		t.Errorf("CNN MPKI %.2f, paper reports ~0.06", cnn.MPKI)
+	}
+	// §II-C: SLS gathers thrash the data TLB; dense ops do not.
+	if sls.TLBMissRate < 0.2 {
+		t.Errorf("SLS dTLB miss rate %.3f, want high (new page per gather)", sls.TLBMissRate)
+	}
+	if fc.TLBMissRate > 0.01 || cnn.TLBMissRate > 0.01 {
+		t.Errorf("dense-op dTLB miss rates %.4f/%.4f should be ~0", fc.TLBMissRate, cnn.TLBMissRate)
+	}
+	if !strings.Contains(RenderFigure5(rows), "MPKI") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFigure5Deterministic(t *testing.T) {
+	a := Figure5(7)
+	b := Figure5(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Figure5 not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestFigure7MatchesPaper(t *testing.T) {
+	rows := Figure7()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].LatencyUS >= rows[1].LatencyUS || rows[1].LatencyUS >= rows[2].LatencyUS {
+		t.Error("latency should order RMC1 < RMC2 < RMC3")
+	}
+	if rows[1].SLS < 0.7 {
+		t.Errorf("RMC2 SLS share %.2f, paper 0.80", rows[1].SLS)
+	}
+	if !strings.Contains(RenderFigure7(rows), "RMC3") {
+		t.Error("render missing model")
+	}
+}
+
+func TestFigure8MatchesPaper(t *testing.T) {
+	cells := Figure8()
+	if len(cells) != 3*3*3 {
+		t.Fatalf("cells = %d, want 27", len(cells))
+	}
+	lat := map[string]float64{}
+	for _, c := range cells {
+		if c.Batch == 16 {
+			lat[c.Model+"/"+c.Machine] = c.LatencyUS
+		}
+	}
+	for _, m := range []string{"RMC1-small", "RMC2-small", "RMC3-small"} {
+		if lat[m+"/Broadwell"] >= lat[m+"/Haswell"] || lat[m+"/Broadwell"] >= lat[m+"/Skylake"] {
+			t.Errorf("%s: Broadwell should lead at batch 16", m)
+		}
+	}
+	if !strings.Contains(RenderFigure8(cells), "Fastest") {
+		t.Error("render missing winner column")
+	}
+}
+
+func TestFigure9MatchesPaper(t *testing.T) {
+	rows := Figure9()
+	norm := map[string]float64{}
+	for _, r := range rows {
+		if r.Tenants == 8 {
+			norm[r.Model] = r.Normalized
+		}
+		if r.Tenants == 1 && (r.Normalized < 0.999 || r.Normalized > 1.001) {
+			t.Errorf("%s solo should normalize to 1, got %.3f", r.Model, r.Normalized)
+		}
+	}
+	if !(norm["RMC2-small"] > norm["RMC3-small"] && norm["RMC2-small"] > norm["RMC1-small"]) {
+		t.Errorf("RMC2 should degrade most at N=8: %v", norm)
+	}
+	if !strings.Contains(RenderFigure9(rows), "SLS") {
+		t.Error("render missing breakdown")
+	}
+}
+
+func TestFigure10MatchesPaper(t *testing.T) {
+	pts := Figure10()
+	lat := map[string]map[int]Figure10Point{}
+	for _, p := range pts {
+		if lat[p.Machine] == nil {
+			lat[p.Machine] = map[int]Figure10Point{}
+		}
+		lat[p.Machine][p.Tenants] = p
+	}
+	if lat["Broadwell"][2].LatencyUS >= lat["Skylake"][2].LatencyUS {
+		t.Error("Broadwell should lead at 2 tenants")
+	}
+	if lat["Skylake"][12].LatencyUS >= lat["Broadwell"][12].LatencyUS {
+		t.Error("Skylake should lead at 12 tenants")
+	}
+	// Throughput at high co-location beats solo on every machine.
+	for name, byN := range lat {
+		if byN[8].Throughput <= byN[1].Throughput {
+			t.Errorf("%s: co-location should raise throughput", name)
+		}
+	}
+	if !strings.Contains(RenderFigure10(pts), "450ms") {
+		t.Error("render missing SLA")
+	}
+}
+
+func TestFigure11MatchesPaper(t *testing.T) {
+	r := Figure11(512, 512, 99)
+	if len(r.ModesBDW) < 2 {
+		t.Errorf("Broadwell modes = %d, want multi-modal", len(r.ModesBDW))
+	}
+	if len(r.ModesSKL) > len(r.ModesBDW) {
+		t.Error("Skylake should not be more multi-modal than Broadwell")
+	}
+	bdw40 := r.CurveBDW[39]
+	skl40 := r.CurveSKL[39]
+	if bdw40.P99/bdw40.Mean <= skl40.P99/skl40.Mean {
+		t.Error("Broadwell p99 spread should exceed Skylake at 40 jobs")
+	}
+	if !strings.Contains(r.Render(), "Broadwell") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure12MatchesPaper(t *testing.T) {
+	rows := Figure12()
+	for _, r := range rows {
+		if r.Latency < 2 {
+			t.Errorf("%s latency ratio %.1f, production models should dwarf NCF", r.Model, r.Latency)
+		}
+		if r.Lookups < 10 {
+			t.Errorf("%s lookup ratio %.0f, want >> 1", r.Model, r.Lookups)
+		}
+	}
+	if !strings.Contains(RenderFigure12(rows), "NCF") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFigure14MatchesPaper(t *testing.T) {
+	rows := Figure14(3)
+	if rows[0].Trace != "random" || rows[0].UniqueFraction < 0.9 {
+		t.Errorf("random trace should be ~fully unique: %+v", rows[0])
+	}
+	min, max := 1.0, 0.0
+	for _, r := range rows[1:] {
+		if r.UniqueFraction < min {
+			min = r.UniqueFraction
+		}
+		if r.UniqueFraction > max {
+			max = r.UniqueFraction
+		}
+	}
+	if min > 0.4 || max < 0.7 {
+		t.Errorf("production traces should span a wide range: [%.2f, %.2f]", min, max)
+	}
+	if !strings.Contains(RenderFigure14(rows), "random") {
+		t.Error("render missing baseline")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// RMC1 normalizes to itself.
+	if rows[0].NumTables != 1 || rows[0].InputDim != 1 || rows[0].OutputDim != 1 {
+		t.Errorf("RMC1 normalization wrong: %+v", rows[0])
+	}
+	// RMC3 lookups normalize to 1×.
+	if rows[2].Lookups != 1 {
+		t.Errorf("RMC3 lookups = %gx, want 1x", rows[2].Lookups)
+	}
+	// RMC1/RMC2 lookups are 4×.
+	if rows[0].Lookups != 4 || rows[1].Lookups != 4 {
+		t.Errorf("RMC1/RMC2 lookups = %g/%g, want 4x", rows[0].Lookups, rows[1].Lookups)
+	}
+	if !strings.Contains(RenderTableI(rows), "Bottom FC") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTableIIRender(t *testing.T) {
+	out := RenderTableII()
+	for _, want := range []string{"Haswell", "Broadwell", "Skylake", "AVX-512", "Inclusive", "Exclusive", "DDR3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II render missing %q", want)
+		}
+	}
+}
+
+func TestTableIIIMatchesPaper(t *testing.T) {
+	rows := TableIII()
+	byModel := map[string]TableIIIRow{}
+	for _, r := range rows {
+		byModel[r.Model] = r
+	}
+	if byModel["RMC3-small"].DominantOps != "MLP" {
+		t.Error("RMC3 should be MLP-dominated")
+	}
+	if byModel["RMC2-small"].DominantOps != "Embedding" {
+		t.Error("RMC2 should be embedding-dominated")
+	}
+	if byModel["RMC3-small"].ComputeSensitivity <= byModel["RMC2-small"].ComputeSensitivity {
+		t.Error("RMC3 should be more compute-sensitive than RMC2")
+	}
+	if byModel["RMC2-small"].MemorySensitivity <= byModel["RMC3-small"].MemorySensitivity {
+		t.Error("RMC2 should be more memory-sensitive than RMC3")
+	}
+	if !strings.Contains(RenderTableIII(rows), "Dominated by") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 21 {
+		t.Fatalf("experiments = %d, want 21", len(ids))
+	}
+	for _, id := range []string{"fig7", "table1", "fig14"} {
+		out, err := Run(id, 1)
+		if err != nil || len(out) == 0 {
+			t.Errorf("Run(%s): %v", id, err)
+		}
+	}
+	if _, err := Run("fig99", 1); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}

@@ -1,0 +1,62 @@
+package repro
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(seed uint64) string
+}
+
+// Experiments returns the full registry, keyed by the paper's
+// figure/table numbering.
+func Experiments() []Experiment {
+	exps := []Experiment{
+		{"fig1", "data-center cycle share by service", func(uint64) string { return Figure1().Render() }},
+		{"fig2", "FLOPs vs bytes-read scatter", func(uint64) string { return Figure2().Render() }},
+		{"fig4", "fleet cycle share by operator", func(uint64) string { return Figure4().Render() }},
+		{"fig5", "operator intensity and LLC MPKI", func(seed uint64) string { return RenderFigure5(Figure5(seed)) }},
+		{"fig7", "unit-batch latency and op breakdown", func(uint64) string { return RenderFigure7(Figure7()) }},
+		{"fig8", "batch sweep across server generations", func(uint64) string { return RenderFigure8(Figure8()) }},
+		{"fig9", "co-location degradation on Broadwell", func(uint64) string { return RenderFigure9(Figure9()) }},
+		{"fig10", "latency/throughput tradeoff under co-location", func(uint64) string { return RenderFigure10(Figure10()) }},
+		{"fig11", "FC operator tail latency in production", func(seed uint64) string { return Figure11(512, 512, seed).Render() }},
+		{"fig11c", "larger FC operator tail latency", func(seed uint64) string { return Figure11(2048, 2048, seed).Render() }},
+		{"fig12", "production models vs MLPerf-NCF", func(uint64) string { return RenderFigure12(Figure12()) }},
+		{"fig14", "unique sparse IDs across traces", func(seed uint64) string { return RenderFigure14(Figure14(seed)) }},
+		{"table1", "model architecture parameters", func(uint64) string { return RenderTableI(TableI()) }},
+		{"table2", "server architectures", func(uint64) string { return RenderTableII() }},
+		{"table3", "µarch bottleneck summary", func(uint64) string { return RenderTableIII(TableIII()) }},
+		{"ext-cache", "embedding caching over tiered memory", func(seed uint64) string { return RenderExtEmbCache(ExtEmbCache(seed)) }},
+		{"ext-quant", "int8 embedding quantization", func(uint64) string { return RenderExtQuant(ExtQuant()) }},
+		{"ext-shard", "sharded embedding serving", func(uint64) string { return RenderExtShard(ExtShard()) }},
+		{"ext-batching", "dynamic batching under SLA", func(seed uint64) string { return RenderExtBatching(ExtBatching(seed)) }},
+		{"ext-train", "SGD training learning curve", func(seed uint64) string { return RenderExtTrain(ExtTrain(seed)) }},
+		{"ext-capacity", "heterogeneity-aware fleet provisioning", func(uint64) string { return RenderExtCapacity(ExtCapacity()) }},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// Run executes one experiment by ID.
+func Run(id string, seed uint64) (string, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e.Run(seed), nil
+		}
+	}
+	return "", fmt.Errorf("repro: unknown experiment %q (try one of %v)", id, IDs())
+}
+
+// IDs lists the registered experiment IDs.
+func IDs() []string {
+	var ids []string
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}

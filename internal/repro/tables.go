@@ -1,0 +1,145 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"recsys/internal/arch"
+	"recsys/internal/model"
+	"recsys/internal/nn"
+	"recsys/internal/perf"
+)
+
+// TableIRow is one model class's architecture parameters, normalized as
+// in the paper's Table I (FC widths to RMC1 bottom layer 3; table
+// counts and dimensions to RMC1; lookups to RMC3).
+type TableIRow struct {
+	Model               string
+	BottomFC, TopFC     []float64
+	NumTables           float64
+	InputDim, OutputDim float64
+	Lookups             float64
+	EmbeddingGB         float64
+}
+
+// TableI computes the normalized Table I from the zoo configs.
+func TableI() []TableIRow {
+	r1, r3 := model.RMC1Small(), model.RMC3Small()
+	base := float64(r1.BottomMLP[len(r1.BottomMLP)-1])
+	baseTables := float64(len(r1.Tables))
+	baseRows := float64(r1.Tables[0].Rows)
+	baseDim := float64(r1.Tables[0].Dim)
+	baseLookups := float64(r3.Tables[0].Lookups)
+
+	norm := func(ws []int, d float64) []float64 {
+		out := make([]float64, len(ws))
+		for i, w := range ws {
+			out[i] = float64(w) / d
+		}
+		return out
+	}
+	var rows []TableIRow
+	for _, cfg := range model.Defaults() {
+		rows = append(rows, TableIRow{
+			Model:       cfg.Name,
+			BottomFC:    norm(cfg.BottomMLP, base),
+			TopFC:       norm(cfg.TopMLP, base),
+			NumTables:   float64(len(cfg.Tables)) / baseTables,
+			InputDim:    float64(cfg.Tables[0].Rows) / baseRows,
+			OutputDim:   float64(cfg.Tables[0].Dim) / baseDim,
+			Lookups:     float64(cfg.Tables[0].Lookups) / baseLookups,
+			EmbeddingGB: float64(cfg.EmbeddingBytes()) / (1 << 30),
+		})
+	}
+	return rows
+}
+
+// RenderTableI prints the normalized architecture parameters.
+func RenderTableI(rows []TableIRow) string {
+	var b strings.Builder
+	b.WriteString("Table I: model architecture parameters (normalized as in the paper)\n\n")
+	t := newTable("Model", "Bottom FC", "Top FC", "#Tables", "Input dim", "Output dim", "Lookups", "Emb. GB")
+	f := func(vs []float64) string {
+		parts := make([]string, len(vs))
+		for i, v := range vs {
+			parts[i] = fmt.Sprintf("%gx", v)
+		}
+		return strings.Join(parts, "-")
+	}
+	for _, r := range rows {
+		t.addf("%s|%s|%s|%gx|%gx|%gx|%gx|%.2f",
+			r.Model, f(r.BottomFC), f(r.TopFC), r.NumTables, r.InputDim, r.OutputDim, r.Lookups, r.EmbeddingGB)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RenderTableII prints the machine descriptions of Table II.
+func RenderTableII() string {
+	var b strings.Builder
+	b.WriteString("Table II: server architectures\n\n")
+	t := newTable("Machine", "Freq", "Cores/socket", "SIMD", "L2", "L3", "L2/L3", "DDR", "BW/socket")
+	for _, m := range arch.Machines() {
+		incl := "Exclusive"
+		if m.L3Inclusive {
+			incl = "Inclusive"
+		}
+		t.addf("%s|%.1fGHz|%d|%s|%dKB|%.1fMB|%s|%s-%d|%.0fGB/s",
+			m.Name, m.FreqGHz, m.CoresPerSocket, m.SIMD,
+			m.L2.SizeBytes>>10, float64(m.L3.SizeBytes)/(1<<20), incl,
+			m.DDRType, m.DDRFreqMHz, m.DRAMBWGBs)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// TableIIIRow summarizes the dominant micro-architectural bottleneck of
+// one model class, derived from performance-model sensitivities.
+type TableIIIRow struct {
+	Model string
+	// DominantOps is "MLP" or "Embedding".
+	DominantOps string
+	// ComputeSensitivity and MemorySensitivity are the speedups from
+	// doubling sustained FLOPs and random DRAM bandwidth respectively.
+	ComputeSensitivity float64
+	MemorySensitivity  float64
+}
+
+// TableIII derives the bottleneck summary by perturbing the Broadwell
+// machine model.
+func TableIII() []TableIIIRow {
+	bdw := arch.Broadwell()
+	fast := bdw
+	fast.ComputeEff *= 2
+	mem := bdw
+	mem.RandomBWGBs *= 2
+	mem.LLCRandomGBs *= 2
+	var rows []TableIIIRow
+	for _, cfg := range model.Defaults() {
+		base := perf.Estimate(cfg, perf.NewContext(bdw, 16))
+		dominant := "MLP"
+		if base.KindFraction(nn.KindSLS) > base.KindFraction(nn.KindFC, nn.KindBatchMM) {
+			dominant = "Embedding"
+		}
+		rows = append(rows, TableIIIRow{
+			Model:              cfg.Name,
+			DominantOps:        dominant,
+			ComputeSensitivity: base.TotalUS / perf.Estimate(cfg, perf.NewContext(fast, 16)).TotalUS,
+			MemorySensitivity:  base.TotalUS / perf.Estimate(cfg, perf.NewContext(mem, 16)).TotalUS,
+		})
+	}
+	return rows
+}
+
+// RenderTableIII prints the bottleneck summary.
+func RenderTableIII(rows []TableIIIRow) string {
+	var b strings.Builder
+	b.WriteString("Table III: dominant operators and µarch sensitivity (speedup from 2x resource)\n\n")
+	t := newTable("Model", "Dominated by", "2x compute", "2x random DRAM BW")
+	for _, r := range rows {
+		t.addf("%s|%s|%.2fx|%.2fx", r.Model, r.DominantOps, r.ComputeSensitivity, r.MemorySensitivity)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nPaper: MLP-dominated models (RMC1, RMC3) are bound by core frequency and\nSIMD; embedding-dominated models (RMC1, RMC2) by DRAM bandwidth and\ncache contention.\n")
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"recsys/internal/perf"
+	"recsys/internal/stats"
+	"recsys/internal/trace"
+)
+
+// BatcherConfig configures a dynamically batching serving tier:
+// single-item queries are coalesced into batches of up to MaxBatch, or
+// dispatched early once the oldest query has waited MaxWaitUS. This is
+// how production systems convert request streams into the large batches
+// that make AVX-512 and co-location pay off (§III, §V).
+type BatcherConfig struct {
+	SimConfig
+	// MaxBatch is the largest coalesced batch.
+	MaxBatch int
+	// MaxWaitUS bounds the queueing delay spent forming a batch.
+	MaxWaitUS float64
+}
+
+// SimulateBatched runs the serving simulation with dynamic batching.
+// SimConfig.Batch is ignored (arrivals are single queries); QPS is the
+// single-query arrival rate.
+func SimulateBatched(bc BatcherConfig) Result {
+	if bc.Workers <= 0 || bc.Requests <= 0 || bc.QPS <= 0 {
+		panic(fmt.Sprintf("server: invalid batcher config %+v", bc))
+	}
+	if bc.MaxBatch <= 0 || bc.MaxWaitUS < 0 {
+		panic(fmt.Sprintf("server: invalid batching policy maxBatch=%d maxWait=%v", bc.MaxBatch, bc.MaxWaitUS))
+	}
+	rng := stats.NewRNG(bc.Seed)
+	gen := trace.NewLoadGenerator(bc.QPS, 1, rng.Split())
+	noise := newNoise(bc.Machine, bc.Workers, rng.Split())
+	arrivals := gen.Take(bc.Requests)
+
+	// Memoize per-batch-size service latency.
+	baseLat := make(map[int]float64, bc.MaxBatch)
+	serviceUS := func(batch int) float64 {
+		if v, ok := baseLat[batch]; ok {
+			return v
+		}
+		v := perf.Estimate(bc.Model, perf.Context{
+			Machine:     bc.Machine,
+			Batch:       batch,
+			Tenants:     minInt(bc.Workers, bc.Machine.CoresPerSocket),
+			Hyperthread: bc.Workers > bc.Machine.CoresPerSocket,
+		}).TotalUS
+		baseLat[batch] = v
+		return v
+	}
+
+	workerFree := make([]float64, bc.Workers)
+	res := Result{Latencies: stats.NewSample(bc.Requests)}
+	var lastDone float64
+
+	for i := 0; i < len(arrivals); {
+		first := arrivals[i].TimeUS
+		deadline := first + bc.MaxWaitUS
+		j := i + 1
+		for j < len(arrivals) && j-i < bc.MaxBatch && arrivals[j].TimeUS <= deadline {
+			j++
+		}
+		// Dispatch when the batch fills, the wait timer fires, or the
+		// stream ends (final flush).
+		ready := arrivals[j-1].TimeUS
+		if j-i < bc.MaxBatch && j < len(arrivals) {
+			ready = deadline
+		}
+
+		w := 0
+		for k := 1; k < bc.Workers; k++ {
+			if workerFree[k] < workerFree[w] {
+				w = k
+			}
+		}
+		start := math.Max(ready, workerFree[w])
+		done := start + serviceUS(j-i)*noise.factor()
+		workerFree[w] = done
+		for k := i; k < j; k++ {
+			lat := done - arrivals[k].TimeUS
+			res.Latencies.Add(lat)
+			res.Completed++
+			if bc.SLAUS > 0 && lat > bc.SLAUS {
+				res.SLAViolations++
+			}
+		}
+		if done > lastDone {
+			lastDone = done
+		}
+		i = j
+	}
+	if lastDone > 0 {
+		res.ThroughputQPS = float64(res.Completed) / (lastDone * 1e-6)
+	}
+	return res
+}

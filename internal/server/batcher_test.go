@@ -1,0 +1,112 @@
+package server
+
+import (
+	"testing"
+
+	"recsys/internal/arch"
+	"recsys/internal/model"
+)
+
+func batcherConfig() BatcherConfig {
+	return BatcherConfig{
+		SimConfig: SimConfig{
+			Model:    model.RMC3Small(),
+			Machine:  arch.Skylake(),
+			Workers:  4,
+			QPS:      20_000,
+			Requests: 8000,
+			SLAUS:    50_000,
+			Seed:     1,
+		},
+		MaxBatch:  64,
+		MaxWaitUS: 2000,
+	}
+}
+
+func TestSimulateBatchedBasics(t *testing.T) {
+	res := SimulateBatched(batcherConfig())
+	if res.Completed != 8000 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	if res.ThroughputQPS <= 0 || res.Latencies.Min() <= 0 {
+		t.Fatal("degenerate result")
+	}
+}
+
+func TestSimulateBatchedDeterministic(t *testing.T) {
+	a := SimulateBatched(batcherConfig())
+	b := SimulateBatched(batcherConfig())
+	if a.Latencies.Mean() != b.Latencies.Mean() {
+		t.Error("same seed must give identical results")
+	}
+}
+
+// TestBatchingBeatsUnitServing: under heavy load on the compute-bound
+// model, coalescing queries into AVX-512-sized batches multiplies
+// goodput versus serving each query alone.
+func TestBatchingBeatsUnitServing(t *testing.T) {
+	bc := batcherConfig()
+	batched := SimulateBatched(bc)
+
+	unit := bc
+	unit.MaxBatch = 1
+	unitRes := SimulateBatched(unit)
+
+	if batched.GoodputQPS() <= 2*unitRes.GoodputQPS() {
+		t.Errorf("batched goodput %.0f should be ≫ unit-batch %.0f",
+			batched.GoodputQPS(), unitRes.GoodputQPS())
+	}
+}
+
+// TestMaxWaitBoundsLatencyAtLowLoad: at trickle load the batcher must
+// dispatch on the wait timer, so queueing delay stays near MaxWaitUS.
+func TestMaxWaitBoundsLatencyAtLowLoad(t *testing.T) {
+	bc := batcherConfig()
+	bc.QPS = 50 // 20ms between queries: batches of one, timer-dispatched
+	bc.Requests = 500
+	bc.MaxWaitUS = 1000
+	res := SimulateBatched(bc)
+	service := 700.0 // RMC3 batch-1 on Skylake is ~1ms; generous bound
+	if p99 := res.Latencies.Percentile(99); p99 > bc.MaxWaitUS+10*service+5000 {
+		t.Errorf("p99 %.0fµs far exceeds wait+service bound", p99)
+	}
+	// Mean batch size must be ~1 at this load: per-query latency close
+	// to the batch-1 service time.
+	if res.Latencies.Mean() > 5000 {
+		t.Errorf("mean %.0fµs too high for trickle load", res.Latencies.Mean())
+	}
+}
+
+// TestLargerMaxWaitTradesLatencyForThroughput.
+func TestLargerMaxWaitTradesLatencyForThroughput(t *testing.T) {
+	quick := batcherConfig()
+	quick.MaxWaitUS = 100
+	patient := batcherConfig()
+	patient.MaxWaitUS = 10_000
+	q := SimulateBatched(quick)
+	p := SimulateBatched(patient)
+	// Waiting longer forms bigger batches: throughput should not drop.
+	if p.ThroughputQPS < q.ThroughputQPS*0.9 {
+		t.Errorf("patient batching throughput %.0f dropped vs quick %.0f", p.ThroughputQPS, q.ThroughputQPS)
+	}
+}
+
+func TestSimulateBatchedPanics(t *testing.T) {
+	for _, mutate := range []func(*BatcherConfig){
+		func(c *BatcherConfig) { c.Workers = 0 },
+		func(c *BatcherConfig) { c.MaxBatch = 0 },
+		func(c *BatcherConfig) { c.MaxWaitUS = -1 },
+		func(c *BatcherConfig) { c.QPS = 0 },
+	} {
+		c := batcherConfig()
+		mutate(&c)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			SimulateBatched(c)
+		}()
+	}
+}

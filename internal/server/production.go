@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+
+	"recsys/internal/arch"
+	"recsys/internal/nn"
+	"recsys/internal/perf"
+	"recsys/internal/stats"
+)
+
+// FCStudy reproduces the Figure 11 experiment: a single FC operator
+// (fixed input/output dimensions) running in the production environment
+// while RMC1 inferences are co-located onto the machine, first one per
+// physical core, then onto hyperthreads.
+type FCStudy struct {
+	Machine arch.Machine
+	In, Out int
+	Batch   int
+	rng     *stats.RNG
+}
+
+// NewFCStudy builds the study for one machine. In/Out of 512 match
+// Figure 11a-b; larger dimensions give Figure 11c.
+func NewFCStudy(m arch.Machine, in, out, batch int, seed uint64) *FCStudy {
+	if in <= 0 || out <= 0 || batch <= 0 {
+		panic(fmt.Sprintf("server: invalid FC study %d×%d batch %d", in, out, batch))
+	}
+	return &FCStudy{Machine: m, In: in, Out: out, Batch: batch, rng: stats.NewRNG(seed)}
+}
+
+// MaxJobs is the largest co-location degree the machine supports with
+// hyperthreading: two jobs per physical core across both sockets.
+func (s *FCStudy) MaxJobs() int { return 2 * s.Machine.TotalCores() }
+
+// baseLatency estimates the FC operator's latency with n co-located
+// jobs spread across the machine's two sockets (one per physical core
+// first, hyperthreads beyond).
+func (s *FCStudy) baseLatency(coLocated int) float64 {
+	if coLocated < 1 {
+		coLocated = 1
+	}
+	perSocket := (coLocated + s.Machine.Sockets - 1) / s.Machine.Sockets
+	ht := coLocated > s.Machine.TotalCores()
+	tenants := perSocket
+	if tenants > s.Machine.CoresPerSocket {
+		tenants = s.Machine.CoresPerSocket
+	}
+	op := nn.NewFCSpec(fmt.Sprintf("fc%dx%d", s.In, s.Out), s.In, s.Out)
+	fp := perf.Footprint{
+		ParamBytes: float64(s.In*s.Out+s.Out) * 4,
+		ActBytes:   float64((s.In + s.Out) * s.Batch * 4),
+	}
+	_, total := perf.EstimateOps([]nn.Op{op}, fp, perf.Context{
+		Machine:     s.Machine,
+		Batch:       s.Batch,
+		Tenants:     tenants,
+		Hyperthread: ht,
+	})
+	return total
+}
+
+// Sample draws one production latency observation for the FC operator
+// at the given co-location degree.
+func (s *FCStudy) Sample(coLocated int) float64 {
+	n := newNoise(s.Machine, coLocated, s.rng)
+	return s.baseLatency(coLocated) * n.factor()
+}
+
+// Distribution draws samples of the operator latency under a
+// production mix of co-location degrees (Figure 11a). The mix spends
+// time at low (no co-location), medium (half the cores), and high
+// (beyond physical cores) occupancy, which is what produces Broadwell's
+// multi-modal distribution.
+func (s *FCStudy) Distribution(samples int) *stats.Sample {
+	out := stats.NewSample(samples)
+	levels := s.MixLevels()
+	weights := []float64{0.25, 0.45, 0.30}
+	for i := 0; i < samples; i++ {
+		u := s.rng.Float64()
+		level := levels[0]
+		switch {
+		case u < weights[0]:
+			level = levels[0]
+		case u < weights[0]+weights[1]:
+			level = levels[1]
+		default:
+			level = levels[2]
+		}
+		out.Add(s.Sample(level))
+	}
+	return out
+}
+
+// MixLevels returns the low/medium/high co-location degrees of the
+// production mix used by Distribution.
+func (s *FCStudy) MixLevels() [3]int {
+	total := s.Machine.TotalCores()
+	return [3]int{1, total / 2, total + total/4}
+}
+
+// PercentileCurve returns mean, p5, and p99 operator latency as a
+// function of co-location degree (Figure 11b-c).
+type PercentilePoint struct {
+	CoLocated     int
+	Mean, P5, P99 float64
+}
+
+// PercentileCurve samples the operator latency distribution at each
+// co-location degree from 1 to maxJobs.
+func (s *FCStudy) PercentileCurve(maxJobs, samplesPer int) []PercentilePoint {
+	if maxJobs <= 0 || maxJobs > s.MaxJobs() {
+		maxJobs = s.MaxJobs()
+	}
+	var out []PercentilePoint
+	for n := 1; n <= maxJobs; n++ {
+		sample := stats.NewSample(samplesPer)
+		for i := 0; i < samplesPer; i++ {
+			sample.Add(s.Sample(n))
+		}
+		out = append(out, PercentilePoint{
+			CoLocated: n,
+			Mean:      sample.Mean(),
+			P5:        sample.Percentile(5),
+			P99:       sample.Percentile(99),
+		})
+	}
+	return out
+}

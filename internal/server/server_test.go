@@ -1,0 +1,212 @@
+package server
+
+import (
+	"testing"
+
+	"recsys/internal/arch"
+	"recsys/internal/model"
+	"recsys/internal/stats"
+)
+
+// statsHistogram bins a sample into 60 uniform buckets for mode
+// detection.
+func statsHistogram(s *stats.Sample) *stats.Histogram {
+	h := stats.NewHistogram(s.Min(), s.Max()+1e-9, 60)
+	for _, v := range s.Values() {
+		h.Add(v)
+	}
+	return h
+}
+
+func baseSim() SimConfig {
+	return SimConfig{
+		Model:    model.RMC1Small(),
+		Machine:  arch.Broadwell(),
+		Batch:    16,
+		Workers:  4,
+		QPS:      2000,
+		Requests: 4000,
+		SLAUS:    10_000,
+		Seed:     1,
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	res := Simulate(baseSim())
+	if res.Completed != 4000 {
+		t.Fatalf("completed %d, want 4000", res.Completed)
+	}
+	if res.Latencies.Len() != 4000 {
+		t.Fatal("latency sample count wrong")
+	}
+	if res.ThroughputQPS <= 0 {
+		t.Fatal("throughput not measured")
+	}
+	if res.Latencies.Min() <= 0 {
+		t.Fatal("non-positive latency")
+	}
+	// Goodput never exceeds throughput.
+	if res.GoodputQPS() > res.ThroughputQPS {
+		t.Error("goodput exceeds throughput")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := Simulate(baseSim())
+	b := Simulate(baseSim())
+	if a.Latencies.Mean() != b.Latencies.Mean() || a.SLAViolations != b.SLAViolations {
+		t.Error("same seed must give identical results")
+	}
+	c := baseSim()
+	c.Seed = 2
+	if Simulate(c).Latencies.Mean() == a.Latencies.Mean() {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSimulatePanicsOnInvalid(t *testing.T) {
+	for _, mutate := range []func(*SimConfig){
+		func(c *SimConfig) { c.Workers = 0 },
+		func(c *SimConfig) { c.Requests = 0 },
+		func(c *SimConfig) { c.Batch = 0 },
+		func(c *SimConfig) { c.QPS = 0 },
+	} {
+		c := baseSim()
+		mutate(&c)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			Simulate(c)
+		}()
+	}
+}
+
+// TestQueueingGrowsLatency: overload must show up as queue wait.
+func TestQueueingGrowsLatency(t *testing.T) {
+	light := baseSim()
+	light.QPS = 500
+	heavy := baseSim()
+	heavy.QPS = 50_000
+	l := Simulate(light)
+	h := Simulate(heavy)
+	if h.Latencies.Percentile(99) <= l.Latencies.Percentile(99) {
+		t.Error("overload should inflate p99 latency")
+	}
+	if h.SLAViolations <= l.SLAViolations {
+		t.Error("overload should violate SLA more often")
+	}
+}
+
+// TestGoodputPeaksBelowSaturation: offered load beyond capacity reduces
+// goodput — the reason the paper measures latency-bounded throughput.
+func TestGoodputPeaksBelowSaturation(t *testing.T) {
+	run := func(qps float64) float64 {
+		c := baseSim()
+		c.QPS = qps
+		c.SLAUS = 2_000
+		return Simulate(c).GoodputQPS()
+	}
+	moderate := run(4_000)
+	overloaded := run(200_000)
+	if overloaded >= moderate {
+		t.Errorf("goodput under overload (%.0f) should fall below moderate load (%.0f)", overloaded, moderate)
+	}
+}
+
+// TestVariabilityGrowsWithColocation reproduces Takeaway 8: co-location
+// increases performance variability, much more on inclusive Broadwell
+// than exclusive Skylake.
+func TestVariabilityGrowsWithColocation(t *testing.T) {
+	spread := func(m arch.Machine, workers int) float64 {
+		c := baseSim()
+		c.Machine = m
+		c.Workers = workers
+		c.QPS = 200 // light load: isolate service-time variability
+		c.Requests = 3000
+		res := Simulate(c)
+		return res.Latencies.Percentile(99) / res.Latencies.Percentile(50)
+	}
+	bdwLow := spread(arch.Broadwell(), 1)
+	bdwHigh := spread(arch.Broadwell(), 14)
+	sklHigh := spread(arch.Skylake(), 14)
+	if bdwHigh <= bdwLow {
+		t.Errorf("BDW p99/p50 should grow with co-location: %.3f vs %.3f", bdwHigh, bdwLow)
+	}
+	if bdwHigh <= sklHigh {
+		t.Errorf("inclusive BDW spread (%.3f) should exceed exclusive SKL (%.3f)", bdwHigh, sklHigh)
+	}
+}
+
+func TestFCStudyBasics(t *testing.T) {
+	s := NewFCStudy(arch.Broadwell(), 512, 512, 1, 7)
+	if s.MaxJobs() != 56 { // 2 × 28 cores
+		t.Errorf("MaxJobs = %d, want 56", s.MaxJobs())
+	}
+	if l := s.Sample(1); l <= 0 {
+		t.Fatal("non-positive sample")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid study should panic")
+			}
+		}()
+		NewFCStudy(arch.Broadwell(), 0, 512, 1, 1)
+	}()
+}
+
+// TestFigure11aMultiModal: under the production co-location mix the FC
+// operator latency is multi-modal on Broadwell (paper: modes at 40, 58,
+// and 75µs) and unimodal-ish on Skylake.
+func TestFigure11aMultiModal(t *testing.T) {
+	modeCount := func(m arch.Machine) int {
+		s := NewFCStudy(m, 512, 512, 1, 11)
+		dist := s.Distribution(20000)
+		h := statsHistogram(dist)
+		return len(h.Modes(0.02))
+	}
+	bdw := modeCount(arch.Broadwell())
+	skl := modeCount(arch.Skylake())
+	if bdw < 2 {
+		t.Errorf("Broadwell FC distribution has %d modes, want ≥ 2 (paper shows 3)", bdw)
+	}
+	if skl > bdw {
+		t.Errorf("Skylake (%d modes) should be no more multi-modal than Broadwell (%d)", skl, bdw)
+	}
+}
+
+// TestFigure11bTail: mean latency grows with co-location; Broadwell's
+// p99 blows up past ~20 jobs while Skylake degrades gradually.
+func TestFigure11bTail(t *testing.T) {
+	curve := func(m arch.Machine) []PercentilePoint {
+		return NewFCStudy(m, 512, 512, 1, 13).PercentileCurve(40, 600)
+	}
+	bdw := curve(arch.Broadwell())
+	skl := curve(arch.Skylake())
+
+	// Mean grows with co-location on both machines.
+	if bdw[30].Mean <= bdw[0].Mean || skl[30].Mean <= skl[0].Mean {
+		t.Error("mean latency should grow with co-location")
+	}
+	// p99/mean gap at 30 jobs: Broadwell much wider than Skylake.
+	gap := func(p PercentilePoint) float64 { return p.P99 / p.Mean }
+	if gap(bdw[29]) <= gap(skl[29]) {
+		t.Errorf("BDW p99 gap (%.2f) should exceed SKL (%.2f) at 30 jobs", gap(bdw[29]), gap(skl[29]))
+	}
+	// Broadwell's p99 grows superlinearly past 20 jobs.
+	if bdw[35].P99/bdw[18].P99 < 1.5 {
+		t.Error("BDW p99 should blow up past ~20 co-located jobs")
+	}
+}
+
+// TestFigure11cLargerFC: the larger FC operator tells the same story.
+func TestFigure11cLargerFC(t *testing.T) {
+	bdw := NewFCStudy(arch.Broadwell(), 2048, 2048, 1, 17).PercentileCurve(40, 300)
+	skl := NewFCStudy(arch.Skylake(), 2048, 2048, 1, 17).PercentileCurve(40, 300)
+	if bdw[39].P99/bdw[39].Mean <= skl[39].P99/skl[39].Mean {
+		t.Error("larger FC: BDW p99 spread should still exceed SKL")
+	}
+}

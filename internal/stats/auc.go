@@ -1,0 +1,47 @@
+package stats
+
+import "sort"
+
+// AUC computes the area under the ROC curve for binary labels (0/1)
+// given real-valued scores, using the rank-statistic formulation with
+// midrank tie handling. It returns 0.5 when either class is absent.
+func AUC(scores []float64, labels []int) float64 {
+	if len(scores) != len(labels) {
+		panic("stats: AUC length mismatch")
+	}
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Midranks for ties.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+
+	var posRankSum float64
+	pos, neg := 0, 0
+	for i, l := range labels {
+		if l == 1 {
+			pos++
+			posRankSum += ranks[i]
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	return (posRankSum - float64(pos)*float64(pos+1)/2) / (float64(pos) * float64(neg))
+}

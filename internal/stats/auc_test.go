@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAUCPerfectRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []int{1, 1, 0, 0}
+	if got := AUC(scores, labels); got != 1.0 {
+		t.Errorf("perfect ranking AUC = %v, want 1", got)
+	}
+}
+
+func TestAUCInvertedRanking(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []int{1, 1, 0, 0}
+	if got := AUC(scores, labels); got != 0.0 {
+		t.Errorf("inverted ranking AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	rng := NewRNG(1)
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2)
+	}
+	if got := AUC(scores, labels); math.Abs(got-0.5) > 0.02 {
+		t.Errorf("random AUC = %v, want ~0.5", got)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	// All scores identical: AUC must be exactly 0.5 via midranks.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []int{1, 0, 1, 0}
+	if got := AUC(scores, labels); got != 0.5 {
+		t.Errorf("all-tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCDegenerateClasses(t *testing.T) {
+	if got := AUC([]float64{0.1, 0.9}, []int{1, 1}); got != 0.5 {
+		t.Errorf("single-class AUC = %v, want 0.5", got)
+	}
+	if got := AUC([]float64{0.1, 0.9}, []int{0, 0}); got != 0.5 {
+		t.Errorf("single-class AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AUC([]float64{1}, []int{1, 0})
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// One inversion among 2 pos × 2 neg pairs: AUC = 3/4.
+	scores := []float64{0.9, 0.3, 0.4, 0.1}
+	labels := []int{1, 1, 0, 0}
+	if got := AUC(scores, labels); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("AUC = %v, want 0.75", got)
+	}
+}

@@ -1,0 +1,110 @@
+// Package stats provides deterministic random number generation,
+// percentile and histogram utilities used throughout the simulator.
+//
+// Every experiment in this repository must be reproducible bit-for-bit,
+// so all randomness flows through RNG, a small splitmix64/xoshiro-style
+// generator seeded explicitly. The standard library's math/rand is
+// deliberately avoided in simulation code paths so that a seed uniquely
+// determines every figure in EXPERIMENTS.md.
+package stats
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator
+// (xorshift64* core) suitable for simulation workloads.
+// The zero value is not usable; construct with NewRNG.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped
+// to a fixed non-zero constant because the xorshift core has a fixed
+// point at zero.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r := &RNG{state: seed}
+	// Warm up so that small seeds diverge quickly.
+	for i := 0; i < 4; i++ {
+		r.Uint64()
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform float32 in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the Box-Muller transform.
+func (r *RNG) NormFloat64() float64 {
+	// Reject u1 == 0 to keep Log finite.
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1
+// (mean 1).
+func (r *RNG) ExpFloat64() float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split derives an independent generator from r. The derived stream is
+// decorrelated from the parent by hashing the parent's next output.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xD1B54A32D192ED03)
+}

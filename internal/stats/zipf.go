@@ -1,0 +1,97 @@
+package stats
+
+import "math"
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(k+1)^s. It is used to generate skewed sparse-ID streams that mimic
+// the locality observed in production embedding-table traces.
+//
+// Sampling uses the rejection-inversion method of Hörmann and
+// Derflinger, which is O(1) per sample independent of n.
+type Zipf struct {
+	rng              *RNG
+	n                float64
+	s                float64
+	oneMinusS        float64
+	oneOverOneMinusS float64
+	hIntegralX1      float64
+	hIntegralN       float64
+	threshold        float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s > 0,
+// s != 1 handled exactly and s == 1 handled via a small epsilon offset.
+// It panics if n <= 0 or s <= 0.
+func NewZipf(rng *RNG, n int64, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("stats: Zipf with non-positive s")
+	}
+	if s == 1 {
+		s = 1 + 1e-9 // avoid the harmonic special case without a second code path
+	}
+	z := &Zipf{
+		rng:              rng,
+		n:                float64(n),
+		s:                s,
+		oneMinusS:        1 - s,
+		oneOverOneMinusS: 1 / (1 - s),
+	}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralN = z.hIntegral(z.n + 0.5)
+	z.threshold = 2 - z.hIntegralInverse(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+// hIntegral is the antiderivative of h(x) = x^-s.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusS*logX) * logX
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.s * math.Log(x))
+}
+
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * z.oneMinusS
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with a series fallback near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+// helper2 computes expm1(x)/x with a series fallback near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+0.25*x))
+}
+
+// Next returns the next sample in [0, n), with 0 the most popular rank.
+func (z *Zipf) Next() int64 {
+	for {
+		u := z.hIntegralN + z.rng.Float64()*(z.hIntegralX1-z.hIntegralN)
+		x := z.hIntegralInverse(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		if k-x <= z.threshold || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return int64(k) - 1
+		}
+	}
+}

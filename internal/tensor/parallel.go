@@ -1,0 +1,45 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelGemm computes C = A·B + C like Gemm, splitting A's rows
+// across workers goroutines (0 = GOMAXPROCS). Because the row
+// partition assigns each output row to exactly one worker and the
+// per-row accumulation order is unchanged, results are bit-identical
+// to the serial kernel.
+func ParallelGemm(a, b, c *Tensor, workers int) {
+	m, _, _ := checkGemm(a, b, c)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m < 2*blockSize {
+		Gemm(a, b, c)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			aRows := FromSlice(a.data[lo*a.shape[1]:hi*a.shape[1]], hi-lo, a.shape[1])
+			cRows := FromSlice(c.data[lo*c.shape[1]:hi*c.shape[1]], hi-lo, c.shape[1])
+			Gemm(aRows, b, cRows)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,63 @@
+package tensor
+
+import (
+	"testing"
+
+	"recsys/internal/stats"
+)
+
+func TestParallelGemmMatchesSerial(t *testing.T) {
+	r := stats.NewRNG(11)
+	for _, dims := range [][3]int{
+		{1, 8, 8},     // degenerate row count → serial path
+		{64, 32, 48},  // below the parallel threshold
+		{300, 64, 80}, // parallel path
+		{517, 33, 129},
+	} {
+		a := randTensor(r, dims[0], dims[1])
+		b := randTensor(r, dims[1], dims[2])
+		want := New(dims[0], dims[2])
+		Gemm(a, b, want)
+		for _, workers := range []int{0, 1, 2, 7} {
+			got := New(dims[0], dims[2])
+			ParallelGemm(a, b, got, workers)
+			if !Equal(got, want, 0) {
+				t.Fatalf("dims %v workers %d: parallel result not bit-identical", dims, workers)
+			}
+		}
+	}
+}
+
+func TestParallelGemmAccumulates(t *testing.T) {
+	r := stats.NewRNG(13)
+	a := randTensor(r, 256, 64)
+	b := randTensor(r, 64, 64)
+	got := randTensor(r, 256, 64)
+	want := got.Clone()
+	Gemm(a, b, want)
+	ParallelGemm(a, b, got, 4)
+	if !Equal(got, want, 0) {
+		t.Fatal("parallel accumulation differs from serial")
+	}
+}
+
+func TestParallelGemmPanicsOnShapes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ParallelGemm(New(4, 3), New(2, 5), New(4, 5), 2)
+}
+
+func BenchmarkParallelGemm512(b *testing.B) {
+	r := stats.NewRNG(1)
+	x := randTensor(r, 512, 512)
+	y := randTensor(r, 512, 512)
+	c := New(512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(0)
+		ParallelGemm(x, y, c, 0)
+	}
+}

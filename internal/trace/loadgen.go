@@ -1,0 +1,52 @@
+package trace
+
+import "recsys/internal/stats"
+
+// Arrival is one inference request arrival.
+type Arrival struct {
+	// TimeUS is the absolute arrival time in microseconds.
+	TimeUS float64
+	// Batch is the number of user-item pairs in the request.
+	Batch int
+}
+
+// LoadGenerator produces Poisson request arrivals at a configured
+// queries-per-second rate — the paper's load model for studying
+// latency-bounded throughput under SLA.
+type LoadGenerator struct {
+	// QPS is the mean arrival rate in queries per second.
+	QPS float64
+	// Batch is the per-request batch size.
+	Batch int
+
+	rng *stats.RNG
+	now float64
+}
+
+// NewLoadGenerator returns a Poisson generator with the given rate and
+// per-request batch size.
+func NewLoadGenerator(qps float64, batch int, rng *stats.RNG) *LoadGenerator {
+	if qps <= 0 {
+		panic("trace: QPS must be positive")
+	}
+	if batch <= 0 {
+		panic("trace: batch must be positive")
+	}
+	return &LoadGenerator{QPS: qps, Batch: batch, rng: rng}
+}
+
+// Next returns the next arrival; inter-arrival gaps are exponential
+// with mean 1e6/QPS microseconds.
+func (g *LoadGenerator) Next() Arrival {
+	g.now += g.rng.ExpFloat64() * 1e6 / g.QPS
+	return Arrival{TimeUS: g.now, Batch: g.Batch}
+}
+
+// Take returns the next n arrivals.
+func (g *LoadGenerator) Take(n int) []Arrival {
+	out := make([]Arrival, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

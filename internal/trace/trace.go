@@ -1,0 +1,210 @@
+// Package trace generates sparse-ID streams for embedding-table
+// lookups. The paper's Figure 14 shows that the fraction of unique
+// sparse IDs varies widely across production use cases (from ~100% for
+// random inputs down to ~20%), enabling caching and prefetching
+// optimizations; this package provides generators spanning that range,
+// a trace-driven replay mode for real ID logs, and the Poisson load
+// generator used by the inference-server simulator.
+package trace
+
+import (
+	"fmt"
+
+	"recsys/internal/stats"
+)
+
+// IDGenerator produces embedding-table row IDs in [0, Rows).
+type IDGenerator interface {
+	Name() string
+	// Rows is the table height the generator draws from.
+	Rows() int
+	// Fill writes len(out) IDs into out.
+	Fill(out []int)
+}
+
+// Uniform draws IDs uniformly — the "random" bar of Figure 14 (~100%
+// unique IDs for short windows).
+type Uniform struct {
+	rows int
+	rng  *stats.RNG
+}
+
+// NewUniform returns a uniform generator over [0, rows).
+func NewUniform(rows int, rng *stats.RNG) *Uniform {
+	if rows <= 0 {
+		panic("trace: rows must be positive")
+	}
+	return &Uniform{rows: rows, rng: rng}
+}
+
+// Name implements IDGenerator.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Rows implements IDGenerator.
+func (u *Uniform) Rows() int { return u.rows }
+
+// Fill implements IDGenerator.
+func (u *Uniform) Fill(out []int) {
+	for i := range out {
+		out[i] = u.rng.Intn(u.rows)
+	}
+}
+
+// Zipfian draws IDs from a Zipf distribution — the popularity skew that
+// makes production embedding accesses cacheable.
+type Zipfian struct {
+	rows int
+	s    float64
+	z    *stats.Zipf
+	perm []int
+}
+
+// NewZipfian returns a Zipf(s) generator over [0, rows). Ranks are
+// scattered through the ID space with a fixed permutation so hot rows
+// are not physically adjacent (as in real hashed feature IDs).
+func NewZipfian(rows int, s float64, rng *stats.RNG) *Zipfian {
+	if rows <= 0 {
+		panic("trace: rows must be positive")
+	}
+	return &Zipfian{
+		rows: rows,
+		s:    s,
+		z:    stats.NewZipf(rng.Split(), int64(rows), s),
+		perm: rng.Perm(rows),
+	}
+}
+
+// Name implements IDGenerator.
+func (z *Zipfian) Name() string { return fmt.Sprintf("zipf(%.2f)", z.s) }
+
+// Rows implements IDGenerator.
+func (z *Zipfian) Rows() int { return z.rows }
+
+// Fill implements IDGenerator.
+func (z *Zipfian) Fill(out []int) {
+	for i := range out {
+		out[i] = z.perm[z.z.Next()]
+	}
+}
+
+// RepeatWindow re-issues a recently seen ID with probability P and
+// otherwise draws from an inner generator — temporal locality from
+// users interacting with the same content repeatedly.
+type RepeatWindow struct {
+	inner  IDGenerator
+	p      float64
+	window []int
+	pos    int
+	filled int
+	rng    *stats.RNG
+}
+
+// NewRepeatWindow wraps inner: with probability p the next ID repeats
+// one of the last window IDs.
+func NewRepeatWindow(inner IDGenerator, p float64, window int, rng *stats.RNG) *RepeatWindow {
+	if p < 0 || p > 1 {
+		panic("trace: repeat probability must be in [0,1]")
+	}
+	if window <= 0 {
+		panic("trace: window must be positive")
+	}
+	return &RepeatWindow{inner: inner, p: p, window: make([]int, window), rng: rng}
+}
+
+// Name implements IDGenerator.
+func (r *RepeatWindow) Name() string {
+	return fmt.Sprintf("repeat(%.2f,%d)+%s", r.p, len(r.window), r.inner.Name())
+}
+
+// Rows implements IDGenerator.
+func (r *RepeatWindow) Rows() int { return r.inner.Rows() }
+
+// Fill implements IDGenerator.
+func (r *RepeatWindow) Fill(out []int) {
+	var one [1]int
+	for i := range out {
+		if r.filled > 0 && r.rng.Float64() < r.p {
+			out[i] = r.window[r.rng.Intn(r.filled)]
+		} else {
+			r.inner.Fill(one[:])
+			out[i] = one[0]
+		}
+		r.window[r.pos] = out[i]
+		r.pos = (r.pos + 1) % len(r.window)
+		if r.filled < len(r.window) {
+			r.filled++
+		}
+	}
+}
+
+// Replay re-plays a recorded ID trace, wrapping at the end — the
+// trace-driven mode for instrumenting models with real production logs.
+type Replay struct {
+	name string
+	rows int
+	ids  []int
+	pos  int
+}
+
+// NewReplay wraps a recorded trace. rows must bound every ID.
+func NewReplay(name string, ids []int, rows int) *Replay {
+	if len(ids) == 0 {
+		panic("trace: empty replay trace")
+	}
+	for _, id := range ids {
+		if id < 0 || id >= rows {
+			panic(fmt.Sprintf("trace: replay ID %d out of range [0,%d)", id, rows))
+		}
+	}
+	cp := make([]int, len(ids))
+	copy(cp, ids)
+	return &Replay{name: name, rows: rows, ids: cp}
+}
+
+// Name implements IDGenerator.
+func (r *Replay) Name() string { return r.name }
+
+// Rows implements IDGenerator.
+func (r *Replay) Rows() int { return r.rows }
+
+// Fill implements IDGenerator.
+func (r *Replay) Fill(out []int) {
+	for i := range out {
+		out[i] = r.ids[r.pos]
+		r.pos = (r.pos + 1) % len(r.ids)
+	}
+}
+
+// UniqueFraction draws n IDs and returns the fraction that are distinct
+// — the y-axis of Figure 14.
+func UniqueFraction(g IDGenerator, n int) float64 {
+	if n <= 0 {
+		panic("trace: sample size must be positive")
+	}
+	ids := make([]int, n)
+	g.Fill(ids)
+	seen := make(map[int]struct{}, n)
+	for _, id := range ids {
+		seen[id] = struct{}{}
+	}
+	return float64(len(seen)) / float64(n)
+}
+
+// ProductionTraces returns ten synthetic stand-ins for the paper's
+// production traces, ordered roughly by decreasing uniqueness so their
+// UniqueFraction values span Figure 14's ~20%-95% range.
+func ProductionTraces(rows int, rng *stats.RNG) []IDGenerator {
+	gens := []IDGenerator{
+		NewZipfian(rows, 0.40, rng.Split()),
+		NewZipfian(rows, 0.70, rng.Split()),
+		NewRepeatWindow(NewUniform(rows, rng.Split()), 0.20, 256, rng.Split()),
+		NewZipfian(rows, 0.95, rng.Split()),
+		NewRepeatWindow(NewZipfian(rows, 0.70, rng.Split()), 0.30, 512, rng.Split()),
+		NewZipfian(rows, 1.10, rng.Split()),
+		NewRepeatWindow(NewUniform(rows, rng.Split()), 0.55, 128, rng.Split()),
+		NewZipfian(rows, 1.30, rng.Split()),
+		NewRepeatWindow(NewZipfian(rows, 1.05, rng.Split()), 0.45, 256, rng.Split()),
+		NewRepeatWindow(NewZipfian(rows, 1.25, rng.Split()), 0.60, 128, rng.Split()),
+	}
+	return gens
+}

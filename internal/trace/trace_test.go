@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"recsys/internal/stats"
+)
+
+func TestUniformRange(t *testing.T) {
+	g := NewUniform(100, stats.NewRNG(1))
+	ids := make([]int, 10000)
+	g.Fill(ids)
+	for _, id := range ids {
+		if id < 0 || id >= 100 {
+			t.Fatalf("uniform ID %d out of range", id)
+		}
+	}
+	if g.Rows() != 100 || g.Name() != "uniform" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestUniformNearlyUnique(t *testing.T) {
+	// Short window over a huge table: almost all IDs unique.
+	g := NewUniform(10_000_000, stats.NewRNG(2))
+	if f := UniqueFraction(g, 2000); f < 0.95 {
+		t.Errorf("uniform unique fraction = %.3f, want > 0.95", f)
+	}
+}
+
+func TestZipfianSkewed(t *testing.T) {
+	g := NewZipfian(1_000_000, 1.2, stats.NewRNG(3))
+	if f := UniqueFraction(g, 2000); f > 0.7 {
+		t.Errorf("zipf(1.2) unique fraction = %.3f, want well below uniform", f)
+	}
+	ids := make([]int, 1000)
+	g.Fill(ids)
+	for _, id := range ids {
+		if id < 0 || id >= 1_000_000 {
+			t.Fatalf("zipf ID %d out of range", id)
+		}
+	}
+}
+
+func TestZipfianPermutationScatters(t *testing.T) {
+	// With the rank permutation, the most frequent IDs should not all
+	// be tiny integers.
+	g := NewZipfian(100000, 1.5, stats.NewRNG(4))
+	ids := make([]int, 5000)
+	g.Fill(ids)
+	small := 0
+	for _, id := range ids {
+		if id < 100 {
+			small++
+		}
+	}
+	if float64(small)/float64(len(ids)) > 0.2 {
+		t.Errorf("hot IDs clustered at small values (%d/5000); permutation missing?", small)
+	}
+}
+
+func TestRepeatWindowIncreasesReuse(t *testing.T) {
+	rng := stats.NewRNG(5)
+	base := UniqueFraction(NewUniform(1_000_000, rng.Split()), 2000)
+	rep := UniqueFraction(NewRepeatWindow(NewUniform(1_000_000, rng.Split()), 0.6, 64, rng.Split()), 2000)
+	if rep >= base {
+		t.Errorf("repeat window should reduce uniqueness: %.3f vs %.3f", rep, base)
+	}
+	if rep > 0.55 {
+		t.Errorf("repeat(0.6) unique fraction = %.3f, want < 0.55", rep)
+	}
+}
+
+func TestRepeatWindowRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		g := NewRepeatWindow(NewZipfian(500, 1.0, rng.Split()), 0.5, 16, rng.Split())
+		ids := make([]int, 500)
+		g.Fill(ids)
+		for _, id := range ids {
+			if id < 0 || id >= 500 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplayWrapsAndCopies(t *testing.T) {
+	src := []int{3, 1, 4, 1, 5}
+	r := NewReplay("t", src, 10)
+	src[0] = 9 // must not affect the replay
+	out := make([]int, 12)
+	r.Fill(out)
+	want := []int{3, 1, 4, 1, 5, 3, 1, 4, 1, 5, 3, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("replay[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+	if r.Rows() != 10 || r.Name() != "t" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	rng := stats.NewRNG(1)
+	cases := map[string]func(){
+		"uniform rows":  func() { NewUniform(0, rng) },
+		"zipf rows":     func() { NewZipfian(0, 1, rng) },
+		"repeat p":      func() { NewRepeatWindow(NewUniform(5, rng), 1.5, 4, rng) },
+		"repeat window": func() { NewRepeatWindow(NewUniform(5, rng), 0.5, 0, rng) },
+		"replay empty":  func() { NewReplay("x", nil, 5) },
+		"replay range":  func() { NewReplay("x", []int{7}, 5) },
+		"unique frac n": func() { UniqueFraction(NewUniform(5, rng), 0) },
+		"loadgen qps":   func() { NewLoadGenerator(0, 1, rng) },
+		"loadgen batch": func() { NewLoadGenerator(100, 0, rng) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestFigure14Span: the ten production stand-ins must span a wide
+// uniqueness range (Figure 14 shows ~20% to ~95%) and include both a
+// high-reuse and a low-reuse trace.
+func TestFigure14Span(t *testing.T) {
+	rng := stats.NewRNG(14)
+	gens := ProductionTraces(1_000_000, rng)
+	if len(gens) != 10 {
+		t.Fatalf("ProductionTraces = %d generators, want 10", len(gens))
+	}
+	var fracs []float64
+	for _, g := range gens {
+		fracs = append(fracs, UniqueFraction(g, 4000))
+	}
+	sort.Float64s(fracs)
+	if fracs[0] > 0.40 {
+		t.Errorf("most-reused trace has unique fraction %.2f, want ≤ 0.40", fracs[0])
+	}
+	if fracs[len(fracs)-1] < 0.75 {
+		t.Errorf("least-reused trace has unique fraction %.2f, want ≥ 0.75", fracs[len(fracs)-1])
+	}
+	if fracs[len(fracs)-1]-fracs[0] < 0.35 {
+		t.Errorf("trace span %.2f too narrow for Figure 14", fracs[len(fracs)-1]-fracs[0])
+	}
+}
+
+func TestLoadGeneratorRate(t *testing.T) {
+	g := NewLoadGenerator(1000, 4, stats.NewRNG(6)) // 1000 QPS → 1ms mean gap
+	arr := g.Take(20000)
+	if len(arr) != 20000 {
+		t.Fatal("Take length wrong")
+	}
+	// Times strictly increase.
+	for i := 1; i < len(arr); i++ {
+		if arr[i].TimeUS <= arr[i-1].TimeUS {
+			t.Fatal("arrival times not increasing")
+		}
+		if arr[i].Batch != 4 {
+			t.Fatal("batch not propagated")
+		}
+	}
+	meanGapUS := arr[len(arr)-1].TimeUS / float64(len(arr))
+	if meanGapUS < 900 || meanGapUS > 1100 {
+		t.Errorf("mean inter-arrival = %.1fµs, want ~1000", meanGapUS)
+	}
+}

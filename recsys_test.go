@@ -1,0 +1,94 @@
+package recsys_test
+
+import (
+	"testing"
+
+	"recsys"
+)
+
+// TestPublicAPIRoundTrip exercises the facade end-to-end the way the
+// README shows: build, infer, estimate, optimize, simulate.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := recsys.RMC1Small().Scaled(20)
+	m, err := recsys.Build(cfg, recsys.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := recsys.NewRandomRequest(cfg, 4, recsys.NewRNG(1))
+	ctr := m.CTR(req)
+	if len(ctr) != 4 {
+		t.Fatalf("CTR len %d", len(ctr))
+	}
+	for _, p := range ctr {
+		if p <= 0 || p >= 1 {
+			t.Fatalf("CTR %v out of (0,1)", p)
+		}
+	}
+
+	mt := recsys.Estimate(recsys.RMC1Small(), recsys.NewPerfContext(recsys.Broadwell(), 16))
+	if mt.TotalUS <= 0 {
+		t.Fatal("estimate failed")
+	}
+	if f := mt.KindFraction(recsys.KindFC, recsys.KindBatchMM, recsys.KindSLS,
+		recsys.KindConcat, recsys.KindActivation); f <= 0.5 {
+		t.Fatalf("named kinds cover only %.2f of time", f)
+	}
+
+	plan, ok := recsys.BestMachine(recsys.RMC3Small(), recsys.Machines(), 10_000)
+	if !ok || plan.Throughput <= 0 {
+		t.Fatal("BestMachine failed")
+	}
+
+	res := recsys.Simulate(recsys.SimConfig{
+		Model: cfg, Machine: recsys.Skylake(),
+		Batch: 8, Workers: 2, QPS: 1000, Requests: 500, SLAUS: 50_000, Seed: 3,
+	})
+	if res.Completed != 500 {
+		t.Fatalf("simulate completed %d", res.Completed)
+	}
+}
+
+func TestPublicAPIMachines(t *testing.T) {
+	if len(recsys.Machines()) != 3 {
+		t.Fatal("expected three Table II machines")
+	}
+	m, err := recsys.ByName("Haswell")
+	if err != nil || m.FreqGHz != 2.5 {
+		t.Fatalf("ByName: %v %v", m, err)
+	}
+}
+
+func TestPublicAPITraces(t *testing.T) {
+	rng := recsys.NewRNG(5)
+	g := recsys.NewZipfianIDs(10000, 1.2, rng)
+	if f := recsys.UniqueFraction(g, 1000); f <= 0 || f > 1 {
+		t.Fatalf("unique fraction %v", f)
+	}
+	if len(recsys.ProductionTraces(10000, rng)) != 10 {
+		t.Fatal("expected ten production traces")
+	}
+}
+
+func TestPublicAPIZoo(t *testing.T) {
+	if len(recsys.Zoo()) != 6 || len(recsys.Defaults()) != 3 {
+		t.Fatal("zoo sizes wrong")
+	}
+	if recsys.RMC2Small().Class != recsys.RMC2 {
+		t.Fatal("class mismatch")
+	}
+	if recsys.MLPerfNCF().Class != recsys.NCF {
+		t.Fatal("NCF class mismatch")
+	}
+	custom := recsys.Config{
+		Name:        "mine",
+		Class:       recsys.Custom,
+		DenseIn:     8,
+		BottomMLP:   []int{16, 8},
+		TopMLP:      []int{16, 1},
+		Tables:      recsys.UniformTables(2, 100, 8, 4),
+		Interaction: recsys.Dot,
+	}
+	if err := custom.Validate(); err != nil {
+		t.Fatalf("custom config: %v", err)
+	}
+}
