@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench bench-hot
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The hot-path packages carry the bit-identity and zero-alloc
+# contracts; run them under the race detector too.
+race:
+	$(GO) test -race ./internal/engine ./internal/tensor
+
+# Tier-1 verify recipe (see ROADMAP.md).
+verify: build test vet race
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime=1s .
+
+# Before/after numbers for the inference hot path (EXPERIMENTS.md,
+# "Hot-path benchmarks").
+bench-hot:
+	$(GO) test -run xxx -bench 'BenchmarkGemm(Serial|Hot)|BenchmarkSLS|BenchmarkForward' -benchtime=1s .

@@ -21,6 +21,7 @@ import (
 	"recsys/internal/sched"
 	"recsys/internal/server"
 	"recsys/internal/stats"
+	"recsys/internal/tensor"
 	"recsys/internal/train"
 )
 
@@ -290,6 +291,110 @@ func benchmarkForward(b *testing.B, cfg model.Config, batch int) {
 		m.Forward(req)
 	}
 }
+
+// --- Hot-path benchmarks: packed GEMM, check-free SLS, arena ---
+//
+// Each kernel appears twice: the serial reference ("Serial") and the
+// optimized hot path ("Hot"/"Parallel"), so `go test -bench` output is
+// a before/after table. EXPERIMENTS.md records the measured ratios.
+
+func BenchmarkGemmSerialBatch64(b *testing.B) { benchmarkGemm(b, false) }
+func BenchmarkGemmHotBatch64(b *testing.B)    { benchmarkGemm(b, true) }
+
+// benchmarkGemm times a batch-64 Top-FC-shaped GEMM (64×512×512), the
+// compute-bound operator class of the paper's Figure 4.
+func benchmarkGemm(b *testing.B, hot bool) {
+	r := stats.NewRNG(1)
+	x := tensor.New(64, 512)
+	w := tensor.New(512, 512)
+	for _, t := range []*tensor.Tensor{x, w} {
+		d := t.Data()
+		for i := range d {
+			d[i] = float32(r.NormFloat64())
+		}
+	}
+	pb := tensor.PackB(w)
+	c := tensor.New(64, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(0)
+		if hot {
+			tensor.ParallelGemmPacked(x, pb, c, 0)
+		} else {
+			tensor.Gemm(x, w, c)
+		}
+	}
+}
+
+func BenchmarkSLSSerialBatch64(b *testing.B)   { benchmarkSLS(b, 1) }
+func BenchmarkSLSParallelBatch64(b *testing.B) { benchmarkSLS(b, 0) }
+
+// benchmarkSLS times a batch-64, 80-lookup gather over a 100k×64
+// table — the memory-bound irregular operator of Figure 5.
+func benchmarkSLS(b *testing.B, workers int) {
+	rng := stats.NewRNG(3)
+	table := nn.NewEmbeddingTable("bench", 100_000, 64, rng)
+	op := nn.NewSLSOp(table, 80)
+	const batch = 64
+	ids := make([]int, batch*op.Lookups)
+	for i := range ids {
+		ids[i] = rng.Intn(table.Rows)
+	}
+	arena := tensor.NewArena()
+	op.ForwardEx(ids, batch, arena, workers) // warm: grow slab
+	arena.Reset()                            // right-size before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		op.ForwardEx(ids, batch, arena, workers)
+	}
+}
+
+// benchmarkForwardHot is benchmarkForward on the arena-backed hot
+// path. With workers == 1 the steady-state pass must report 0
+// allocs/op — the tentpole's allocation contract.
+func benchmarkForwardHot(b *testing.B, cfg model.Config, batch, workers int) {
+	m, err := model.Build(cfg, stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := model.NewRandomRequest(cfg, batch, stats.NewRNG(2))
+	arena := tensor.NewArena()
+	m.ForwardEx(req, arena, workers) // warm: pack weights, grow slab
+	arena.Reset()                    // right-size the slab before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		m.ForwardEx(req, arena, workers)
+	}
+}
+
+// The paper's inference batch sizes: service-time batching clusters
+// around 16-64 samples (§III, Figure 8 sweeps 1-256).
+func BenchmarkForwardHotRMC1Batch16(b *testing.B) {
+	benchmarkForwardHot(b, model.RMC1Small().Scaled(10), 16, 1)
+}
+func BenchmarkForwardHotRMC1Batch64(b *testing.B) {
+	benchmarkForwardHot(b, model.RMC1Small().Scaled(10), 64, 1)
+}
+func BenchmarkForwardHotRMC2Batch64(b *testing.B) {
+	benchmarkForwardHot(b, model.RMC2Small().Scaled(100), 64, 1)
+}
+func BenchmarkForwardHotRMC3Batch64(b *testing.B) {
+	benchmarkForwardHot(b, model.RMC3Small().Scaled(40), 64, 1)
+}
+func BenchmarkForwardHotParallelRMC2Batch64(b *testing.B) {
+	benchmarkForwardHot(b, model.RMC2Small().Scaled(100), 64, 0)
+}
+
+// Serial allocating references at the same shapes, for before/after.
+func BenchmarkForwardRMC1Batch64(b *testing.B) { benchmarkForward(b, model.RMC1Small().Scaled(10), 64) }
+func BenchmarkForwardRMC2Batch64(b *testing.B) {
+	benchmarkForward(b, model.RMC2Small().Scaled(100), 64)
+}
+func BenchmarkForwardRMC3Batch64(b *testing.B) { benchmarkForward(b, model.RMC3Small().Scaled(40), 64) }
 
 func BenchmarkForwardRMC1Batch1(b *testing.B)  { benchmarkForward(b, model.RMC1Small().Scaled(10), 1) }
 func BenchmarkForwardRMC1Batch32(b *testing.B) { benchmarkForward(b, model.RMC1Small().Scaled(10), 32) }

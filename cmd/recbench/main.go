@@ -19,9 +19,13 @@ import (
 	"strconv"
 	"strings"
 
+	"time"
+
 	"recsys/internal/arch"
 	"recsys/internal/model"
 	"recsys/internal/perf"
+	"recsys/internal/stats"
+	"recsys/internal/tensor"
 )
 
 func main() {
@@ -33,6 +37,11 @@ func main() {
 		batch       = flag.Int("batch", 1, "batch size (user-item pairs per inference)")
 		tenants     = flag.Int("tenants", 1, "co-located model instances on the socket")
 		ht          = flag.Bool("ht", false, "hyperthread (two tenants per core)")
+
+		measure      = flag.Bool("measure", false, "run real forward passes instead of the analytic model")
+		measureIters = flag.Int("measure-iters", 200, "measured forward passes after warmup")
+		measureScale = flag.Int("measure-scale", 100, "embedding-table shrink factor for -measure")
+		intraOp      = flag.Int("intra-op", 1, "goroutines per measured forward pass (0 = GOMAXPROCS)")
 
 		dense    = flag.Int("dense", 13, "custom: dense input features")
 		bottom   = flag.String("bottom", "256-128-32", "custom: Bottom-MLP widths")
@@ -64,6 +73,13 @@ func main() {
 		fmt.Printf("wrote %s\n", *saveConfig)
 		return
 	}
+	if *measure {
+		if err := runMeasure(cfg, *batch, *measureScale, *measureIters, *intraOp); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	m, err := arch.ByName(*machineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -79,6 +95,49 @@ func main() {
 	}
 	fmt.Printf("\ntotal latency: %.1fµs  (%.0f items/s per instance, %.0f items/s per socket)\n",
 		mt.TotalUS, float64(*batch)/mt.TotalUS*1e6, float64(*batch**tenants)/mt.TotalUS*1e6)
+}
+
+// runMeasure executes real arena-backed forward passes on this
+// machine (as opposed to the analytic cycle model) and reports the
+// measured latency distribution — the same hot path cmd/serve runs,
+// so the -intra-op knob here mirrors engine.Options.IntraOpWorkers.
+func runMeasure(cfg model.Config, batch, scale, iters, intraOp int) error {
+	if iters < 1 {
+		return fmt.Errorf("recbench: -measure-iters must be >= 1, got %d", iters)
+	}
+	if scale > 1 {
+		cfg = cfg.Scaled(scale)
+	}
+	m, err := model.Build(cfg, stats.NewRNG(1))
+	if err != nil {
+		return err
+	}
+	req := model.NewRandomRequest(cfg, batch, stats.NewRNG(2))
+	arena := tensor.NewArena()
+	// Warmup: packs FC weights, grows the arena to its steady-state
+	// working set, and lets the measured loop run allocation-free.
+	for i := 0; i < 3; i++ {
+		arena.Reset()
+		m.ForwardEx(req, arena, intraOp)
+	}
+	lat := make([]float64, 0, iters)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		arena.Reset()
+		m.ForwardEx(req, arena, intraOp)
+		lat = append(lat, float64(time.Since(t0).Microseconds()))
+	}
+	total := time.Since(start)
+	sample := stats.NewSample(len(lat))
+	sample.AddAll(lat)
+	fmt.Printf("%s measured on this host  batch=%d scale=%d intra-op=%d iters=%d\n",
+		cfg.Name, batch, scale, intraOp, iters)
+	fmt.Printf("p50 %.1fµs  p95 %.1fµs  p99 %.1fµs  mean %.1fµs\n",
+		sample.Percentile(50), sample.Percentile(95), sample.Percentile(99),
+		float64(total.Microseconds())/float64(iters))
+	fmt.Printf("throughput: %.0f items/s\n", float64(batch*iters)/total.Seconds())
+	return nil
 }
 
 func resolveConfig(preset string, dense int, bottom, top string, tables, rows, dim, lookups int, interact string) (model.Config, error) {

@@ -28,6 +28,7 @@ func main() {
 		scale      = flag.Int("scale", 100, "embedding-table shrink factor for presets")
 		addr       = flag.String("addr", ":8080", "listen address")
 		workers    = flag.Int("workers", 4, "inference workers")
+		intraOp    = flag.Int("intra-op", 0, "goroutines per forward pass (0 = GOMAXPROCS/workers)")
 		maxBatch   = flag.Int("max-batch", 32, "cross-request batch limit (samples)")
 		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "batch formation wait bound")
 		seed       = flag.Uint64("seed", 1, "weight seed for presets")
@@ -39,10 +40,11 @@ func main() {
 		log.Fatal(err)
 	}
 	srv, err := engine.New(m, engine.Options{
-		Workers:    *workers,
-		QueueDepth: 4 * *workers * *maxBatch,
-		MaxBatch:   *maxBatch,
-		MaxWait:    *maxWait,
+		Workers:        *workers,
+		QueueDepth:     4 * *workers * *maxBatch,
+		MaxBatch:       *maxBatch,
+		MaxWait:        *maxWait,
+		IntraOpWorkers: *intraOp,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,11 +31,31 @@ type Options struct {
 	MaxBatch int
 	// MaxWait bounds how long a worker waits to fill a batch.
 	MaxWait time.Duration
+	// IntraOpWorkers is the goroutine fan-out inside one forward pass
+	// (packed GEMM and SLS row partitioning). 0 derives
+	// GOMAXPROCS/Workers (min 1) so inter-request and intra-op
+	// parallelism compose without oversubscribing the socket — the
+	// batching-vs-latency trade-off of the paper's §V. 1 disables
+	// intra-op parallelism.
+	IntraOpWorkers int
 }
 
 // DefaultOptions returns a 4-worker server with moderate batching.
 func DefaultOptions() Options {
 	return Options{Workers: 4, QueueDepth: 256, MaxBatch: 32, MaxWait: 2 * time.Millisecond}
+}
+
+// resolveIntraOp applies the IntraOpWorkers default: divide the
+// machine between the inter-request workers.
+func resolveIntraOp(opts Options) int {
+	if opts.IntraOpWorkers > 0 {
+		return opts.IntraOpWorkers
+	}
+	n := runtime.GOMAXPROCS(0) / opts.Workers
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // ErrClosed is returned by Rank after Close.
@@ -123,6 +144,7 @@ func New(m *model.Model, opts Options) (*Server, error) {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 1
 	}
+	opts.IntraOpWorkers = resolveIntraOp(opts)
 	s := &Server{
 		model:   m,
 		opts:    opts,
@@ -219,8 +241,23 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
+// workerScratch is the per-worker reusable state: a tensor arena for
+// every activation of the forward pass, plus the coalesced-request
+// buffers merge refills in place. One scratch per worker goroutine, so
+// no locking — the paper's intra/inter-op split keeps each request's
+// working set private to one worker.
+type workerScratch struct {
+	arena *tensor.Arena
+	dense []float32 // merged dense features, grown to high-water mark
+	ids   [][]int   // per-table merged ID lists, capacities reused
+}
+
 func (s *Server) worker() {
 	defer s.wg.Done()
+	scratch := &workerScratch{
+		arena: tensor.NewArena(),
+		ids:   make([][]int, len(s.model.Config.Tables)),
+	}
 	for j := range s.jobs {
 		batch := []*job{j}
 		samples := j.req.Batch
@@ -242,12 +279,12 @@ func (s *Server) worker() {
 			}
 			deadline.Stop()
 		}
-		s.process(batch, samples)
+		s.process(batch, samples, scratch)
 	}
 }
 
 // process runs one coalesced forward pass and distributes the results.
-func (s *Server) process(batch []*job, samples int) {
+func (s *Server) process(batch []*job, samples int, scratch *workerScratch) {
 	// Drop requests whose context is already done.
 	live := batch[:0]
 	for _, j := range batch {
@@ -261,17 +298,17 @@ func (s *Server) process(batch []*job, samples int) {
 		return
 	}
 
-	merged, err := s.merge(live)
+	merged, err := s.merge(live, scratch)
 	if err != nil {
 		// Fall back to per-request execution so one malformed request
 		// cannot poison its batch peers.
 		for _, j := range live {
-			ctr, err := s.forward(j.req)
+			ctr, err := s.forward(j.req, scratch)
 			j.resp <- jobResult{ctr: ctr, err: err}
 		}
 		return
 	}
-	ctr, err := s.forward(merged)
+	ctr, err := s.forward(merged, scratch)
 	if err != nil {
 		for _, j := range live {
 			j.resp <- jobResult{err: err}
@@ -285,23 +322,30 @@ func (s *Server) process(batch []*job, samples int) {
 	}
 }
 
-// forward runs the model, converting panics from malformed requests
-// into errors.
-func (s *Server) forward(req model.Request) (ctr []float32, err error) {
+// forward runs the model on the arena-backed hot path, converting
+// panics from malformed requests into errors. The returned CTR slice
+// is freshly allocated (it escapes to the caller's response channel);
+// every intermediate activation lives in the worker's arena, which is
+// recycled per call.
+func (s *Server) forward(req model.Request, scratch *workerScratch) (ctr []float32, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("engine: inference failed: %v", r)
 		}
 	}()
-	ctr = s.model.CTR(req)
+	scratch.arena.Reset()
+	ctr = s.model.AppendCTR(make([]float32, 0, req.Batch), req, scratch.arena, s.opts.IntraOpWorkers)
 	s.batches.Add(1)
 	s.samples.Add(int64(req.Batch))
 	return ctr, nil
 }
 
-// merge concatenates requests into one. All requests must match the
-// model's input shapes; mismatches return an error.
-func (s *Server) merge(jobs []*job) (model.Request, error) {
+// merge concatenates requests into one, reusing the worker's dense and
+// per-table ID buffers so steady-state coalescing does not allocate.
+// All requests must match the model's input shapes; mismatches return
+// an error. The returned request aliases scratch and is valid until
+// the next merge on the same worker.
+func (s *Server) merge(jobs []*job, scratch *workerScratch) (model.Request, error) {
 	if len(jobs) == 1 {
 		return jobs[0].req, nil
 	}
@@ -327,7 +371,11 @@ func (s *Server) merge(jobs []*job) (model.Request, error) {
 	}
 	out := model.Request{Batch: total}
 	if cfg.DenseIn > 0 {
-		out.Dense = tensor.New(total, cfg.DenseIn)
+		need := total * cfg.DenseIn
+		if cap(scratch.dense) < need {
+			scratch.dense = make([]float32, need)
+		}
+		out.Dense = tensor.FromSlice(scratch.dense[:need], total, cfg.DenseIn)
 		row := 0
 		for _, j := range jobs {
 			for b := 0; b < j.req.Batch; b++ {
@@ -336,13 +384,16 @@ func (s *Server) merge(jobs []*job) (model.Request, error) {
 			}
 		}
 	}
-	out.SparseIDs = make([][]int, len(cfg.Tables))
+	out.SparseIDs = scratch.ids
 	for ti := range cfg.Tables {
-		ids := make([]int, 0, total*cfg.Tables[ti].Lookups)
+		ids := scratch.ids[ti][:0]
+		if need := total * cfg.Tables[ti].Lookups; cap(ids) < need {
+			ids = make([]int, 0, need)
+		}
 		for _, j := range jobs {
 			ids = append(ids, j.req.SparseIDs[ti]...)
 		}
-		out.SparseIDs[ti] = ids
+		scratch.ids[ti] = ids
 	}
 	return out, nil
 }

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"recsys/internal/model"
+	"recsys/internal/stats"
+)
+
+func TestResolveIntraOpDefault(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	got := resolveIntraOp(Options{Workers: 1})
+	if got != procs {
+		t.Fatalf("1 worker: intra-op %d, want %d", got, procs)
+	}
+	// More workers than cores: never drop below one goroutine per pass.
+	if got := resolveIntraOp(Options{Workers: 4 * procs}); got != 1 {
+		t.Fatalf("oversubscribed: intra-op %d, want 1", got)
+	}
+	// Explicit setting wins.
+	if got := resolveIntraOp(Options{Workers: 1, IntraOpWorkers: 3}); got != 3 {
+		t.Fatalf("explicit: intra-op %d, want 3", got)
+	}
+}
+
+// TestMergeBufferReuse drives many coalesced batches through one
+// worker and checks results stay bit-identical to direct execution —
+// the merge scratch (dense + per-table IDs) is reused across batches,
+// so any aliasing bug between consecutive batches would corrupt CTRs.
+func TestMergeBufferReuse(t *testing.T) {
+	m := testModel(t)
+	s, err := New(m, Options{Workers: 1, QueueDepth: 64, MaxBatch: 64, MaxWait: 10 * time.Millisecond, IntraOpWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for round := 0; round < 8; round++ {
+		const n = 6
+		reqs := make([]model.Request, n)
+		wants := make([][]float32, n)
+		for i := range reqs {
+			reqs[i] = model.NewRandomRequest(m.Config, 1+i%4, stats.NewRNG(uint64(round*100+i+1)))
+			wants[i] = m.CTR(reqs[i])
+		}
+		errc := make(chan error, n)
+		for i := range reqs {
+			go func(i int) {
+				got, err := s.Rank(context.Background(), reqs[i])
+				if err == nil {
+					for j := range wants[i] {
+						if got[j] != wants[i][j] {
+							err = errMismatch
+							break
+						}
+					}
+				}
+				errc <- err
+			}(i)
+		}
+		for i := 0; i < n; i++ {
+			if err := <-errc; err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+	}
+	if st := s.Stats(); st.AvgBatch() <= 1 {
+		t.Logf("warning: no coalescing observed (avg batch %.2f); reuse path unexercised", st.AvgBatch())
+	}
+}
+
+var errMismatch = errString("engine test: served CTR differs from direct forward")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -99,6 +99,9 @@ func NewRandomRequest(cfg Config, batch int, rng *stats.RNG) Request {
 
 // Forward computes the predicted click-through rate for every pair in
 // the request, returning a [batch, 1] tensor of probabilities in (0,1).
+// This is the serial allocating reference path — plain blocked GEMM,
+// unpacked weights, fresh tensors — that the hot path in ForwardEx is
+// tested bit-identical against.
 func (m *Model) Forward(req Request) *tensor.Tensor {
 	if len(req.SparseIDs) != len(m.SLS) {
 		panic(fmt.Sprintf("model: %s expects %d sparse inputs, got %d", m.Config.Name, len(m.SLS), len(req.SparseIDs)))
@@ -110,8 +113,8 @@ func (m *Model) Forward(req Request) *tensor.Tensor {
 		}
 		parts = append(parts, m.Bottom.Forward(req.Dense))
 	}
-	for i, op := range m.SLS {
-		parts = append(parts, op.Forward(req.SparseIDs[i], req.Batch))
+	for t, op := range m.SLS {
+		parts = append(parts, op.Forward(req.SparseIDs[t], req.Batch))
 	}
 	x := m.ConcatOp.Forward(parts)
 	if m.Interact != nil {
@@ -122,10 +125,64 @@ func (m *Model) Forward(req Request) *tensor.Tensor {
 	return x
 }
 
+// ForwardEx is the inference hot path: every activation tensor is
+// carved from the arena (when non-nil) so a steady-state pass performs
+// zero heap allocations, FC layers run against packed weights, and the
+// FC and SLS kernels split rows across workers goroutines (1 = serial,
+// 0 = GOMAXPROCS). Row-partitioned parallelism leaves per-row
+// accumulation order unchanged, so results are bit-identical to the
+// serial allocating path for any (arena, workers) combination.
+//
+// The returned tensor aliases the arena; copy what must outlive the
+// next Reset.
+func (m *Model) ForwardEx(req Request, a *tensor.Arena, workers int) *tensor.Tensor {
+	if len(req.SparseIDs) != len(m.SLS) {
+		panic(fmt.Sprintf("model: %s expects %d sparse inputs, got %d", m.Config.Name, len(m.SLS), len(req.SparseIDs)))
+	}
+	n := len(m.SLS)
+	if m.Bottom != nil {
+		n++
+	}
+	var parts []*tensor.Tensor
+	if a != nil {
+		parts = a.Ptrs(n)
+	} else {
+		parts = make([]*tensor.Tensor, n)
+	}
+	i := 0
+	if m.Bottom != nil {
+		if req.Dense == nil {
+			panic(fmt.Sprintf("model: %s requires dense features", m.Config.Name))
+		}
+		parts[i] = m.Bottom.ForwardEx(req.Dense, a, workers)
+		i++
+	}
+	for t, op := range m.SLS {
+		parts[i] = op.ForwardEx(req.SparseIDs[t], req.Batch, a, workers)
+		i++
+	}
+	x := m.ConcatOp.ForwardEx(parts, a)
+	if m.Interact != nil {
+		x = m.Interact.ForwardEx(x, a)
+	}
+	x = m.Top.ForwardEx(x, a, workers)
+	nn.SigmoidInPlace(x)
+	return x
+}
+
 // CTR runs Forward and returns the probabilities as a plain slice.
 func (m *Model) CTR(req Request) []float32 {
 	out := m.Forward(req)
 	res := make([]float32, out.Dim(0))
 	copy(res, out.Data())
 	return res
+}
+
+// AppendCTR runs the hot-path forward pass and appends the
+// probabilities to dst, which is returned. The arena holds every
+// intermediate, so with a warm arena and workers == 1 the only heap
+// growth is dst itself when it lacks capacity.
+func (m *Model) AppendCTR(dst []float32, req Request, a *tensor.Arena, workers int) []float32 {
+	out := m.ForwardEx(req, a, workers)
+	return append(dst, out.Data()...)
 }

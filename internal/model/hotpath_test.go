@@ -1,0 +1,79 @@
+package model
+
+import (
+	"testing"
+
+	"recsys/internal/stats"
+	"recsys/internal/tensor"
+)
+
+// TestForwardExMatchesForward checks the arena-backed, packed,
+// parallel hot path is bit-identical to the serial allocating
+// reference across all three model classes, and that one arena can be
+// recycled across requests of different batch sizes.
+func TestForwardExMatchesForward(t *testing.T) {
+	for _, cfg := range []Config{
+		RMC1Small().Scaled(50),
+		RMC2Small().Scaled(200),
+		RMC3Small().Scaled(100),
+		MLPerfNCF(),
+	} {
+		m, err := Build(cfg, stats.NewRNG(1))
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		arena := tensor.NewArena()
+		for _, batch := range []int{1, 7, 32} {
+			req := NewRandomRequest(cfg, batch, stats.NewRNG(uint64(batch)))
+			want := m.Forward(req)
+			for _, workers := range []int{0, 1, 2, 5} {
+				arena.Reset()
+				got := m.ForwardEx(req, arena, workers)
+				if !tensor.Equal(got, want, 0) {
+					t.Fatalf("%s batch %d workers %d: hot path not bit-identical", cfg.Name, batch, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestForwardExSteadyStateZeroAllocs is the allocation contract of the
+// tentpole: with a warm arena and serial kernels, a forward pass makes
+// zero heap allocations.
+func TestForwardExSteadyStateZeroAllocs(t *testing.T) {
+	cfg := RMC1Small().Scaled(50)
+	m, err := Build(cfg, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := NewRandomRequest(cfg, 16, stats.NewRNG(2))
+	arena := tensor.NewArena()
+	m.ForwardEx(req, arena, 1) // warm: packs weights, grows the slab
+	allocs := testing.AllocsPerRun(50, func() {
+		arena.Reset()
+		m.ForwardEx(req, arena, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ForwardEx allocates %v times per pass, want 0", allocs)
+	}
+}
+
+func TestAppendCTRMatchesCTR(t *testing.T) {
+	cfg := RMC2Small().Scaled(200)
+	m, err := Build(cfg, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := NewRandomRequest(cfg, 9, stats.NewRNG(4))
+	want := m.CTR(req)
+	arena := tensor.NewArena()
+	got := m.AppendCTR(nil, req, arena, 2)
+	if len(got) != len(want) {
+		t.Fatalf("AppendCTR length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendCTR[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -48,11 +48,16 @@ func (d *DotInteraction) OutDim() int {
 // the vectors stored consecutively per sample; output is
 // [batch, OutDim()].
 func (d *DotInteraction) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return d.ForwardEx(x, nil)
+}
+
+// ForwardEx is Forward with the output carved from the arena.
+func (d *DotInteraction) ForwardEx(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != d.NumVec*d.Dim {
 		panic(fmt.Sprintf("nn: DotInteraction input shape %v, want [batch %d]", x.Shape(), d.NumVec*d.Dim))
 	}
 	batch := x.Dim(0)
-	out := tensor.New(batch, d.OutDim())
+	out := allocDense(a, batch, d.OutDim())
 	for b := 0; b < batch; b++ {
 		in := x.Row(b)
 		dst := out.Row(b)

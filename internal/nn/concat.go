@@ -57,7 +57,25 @@ func (c *Concat) Forward(inputs []*tensor.Tensor) *tensor.Tensor {
 			panic(fmt.Sprintf("nn: Concat %q input %d shape %v, want [%d %d]", c.label, i, in.Shape(), batch, c.Widths[i]))
 		}
 	}
-	out := tensor.New(batch, c.OutDim())
+	return c.forward(inputs, nil, batch)
+}
+
+// ForwardEx is Forward with the output carved from the arena.
+func (c *Concat) ForwardEx(inputs []*tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	if len(inputs) != len(c.Widths) {
+		panic(fmt.Sprintf("nn: Concat %q got %d inputs, want %d", c.label, len(inputs), len(c.Widths)))
+	}
+	batch := inputs[0].Dim(0)
+	for i, in := range inputs {
+		if in.Rank() != 2 || in.Dim(0) != batch || in.Dim(1) != c.Widths[i] {
+			panic(fmt.Sprintf("nn: Concat %q input %d shape %v, want [%d %d]", c.label, i, in.Shape(), batch, c.Widths[i]))
+		}
+	}
+	return c.forward(inputs, a, batch)
+}
+
+func (c *Concat) forward(inputs []*tensor.Tensor, a *tensor.Arena, batch int) *tensor.Tensor {
+	out := allocDense(a, batch, c.OutDim())
 	for b := 0; b < batch; b++ {
 		dst := out.Row(b)
 		off := 0

@@ -2,6 +2,8 @@ package nn
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"recsys/internal/stats"
 	"recsys/internal/tensor"
@@ -39,16 +41,19 @@ func (e *EmbeddingTable) SizeBytes() int64 {
 	return int64(e.Rows) * int64(e.Cols) * 4
 }
 
-// SparseLengthsSum implements Algorithm 1 of the paper: for each of the
-// K slices described by lengths, gather the rows of the table addressed
-// by the corresponding IDs and sum them element-wise into one output
-// vector. K is the batch size at inference time.
-//
-//	Out[k] = Σ_{id ∈ slice k} Table[id]
-//
-// ids holds the concatenated per-slice ID lists; sum(lengths) must equal
-// len(ids). Every ID must be in [0, Rows).
-func (e *EmbeddingTable) SparseLengthsSum(ids []int, lengths []int) *tensor.Tensor {
+// validateIDs checks every ID against [0, Rows) up front so the gather
+// inner loops can run check-free.
+func (e *EmbeddingTable) validateIDs(ids []int) {
+	for _, id := range ids {
+		if id < 0 || id >= e.Rows {
+			panic(fmt.Sprintf("nn: SparseLengthsSum ID %d out of range [0,%d)", id, e.Rows))
+		}
+	}
+}
+
+// checkLengths verifies the lengths vector is non-negative and sums to
+// len(ids).
+func checkLengths(ids, lengths []int) {
 	total := 0
 	for _, l := range lengths {
 		if l < 0 {
@@ -59,22 +64,135 @@ func (e *EmbeddingTable) SparseLengthsSum(ids []int, lengths []int) *tensor.Tens
 	if total != len(ids) {
 		panic(fmt.Sprintf("nn: SparseLengthsSum lengths sum to %d but %d IDs given", total, len(ids)))
 	}
-	out := tensor.New(len(lengths), e.Cols)
-	cur := 0
-	for k, l := range lengths {
-		outRow := out.Row(k)
-		for _, id := range ids[cur : cur+l] {
-			if id < 0 || id >= e.Rows {
-				panic(fmt.Sprintf("nn: SparseLengthsSum ID %d out of range [0,%d)", id, e.Rows))
-			}
-			row := e.W.Row(id)
-			for i, v := range row {
-				outRow[i] += v
+}
+
+// accumRow sums the addressed table rows into dst (len Cols). IDs must
+// already be validated; the loop carries no per-ID range check. The
+// common production widths 32 and 64 (Table I) take fixed-size array
+// paths so the compiler drops bounds checks and fully vectorizes the
+// element loop — the SIMD batching the paper leans on for SLS (§V).
+func (e *EmbeddingTable) accumRow(dst []float32, rowIDs []int) {
+	w := e.W.Data()
+	switch e.Cols {
+	case 32:
+		d := (*[32]float32)(dst)
+		for _, id := range rowIDs {
+			src := (*[32]float32)(w[id*32:])
+			for i := range d {
+				d[i] += src[i]
 			}
 		}
-		cur += l
+	case 64:
+		d := (*[64]float32)(dst)
+		for _, id := range rowIDs {
+			src := (*[64]float32)(w[id*64:])
+			for i := range d {
+				d[i] += src[i]
+			}
+		}
+	default:
+		cols := e.Cols
+		for _, id := range rowIDs {
+			src := w[id*cols : id*cols+cols]
+			for i, v := range src {
+				dst[i] += v
+			}
+		}
 	}
+}
+
+// gatherRange pools output rows [kLo, kHi) into out; idOff is the
+// index into ids of the first ID belonging to row kLo. All inputs must
+// be pre-validated.
+func (e *EmbeddingTable) gatherRange(out *tensor.Tensor, ids, lengths []int, kLo, kHi, idOff int) {
+	cur := idOff
+	for k := kLo; k < kHi; k++ {
+		e.accumRow(out.Row(k), ids[cur:cur+lengths[k]])
+		cur += lengths[k]
+	}
+}
+
+// SparseLengthsSum implements Algorithm 1 of the paper: for each of the
+// K slices described by lengths, gather the rows of the table addressed
+// by the corresponding IDs and sum them element-wise into one output
+// vector. K is the batch size at inference time.
+//
+//	Out[k] = Σ_{id ∈ slice k} Table[id]
+//
+// ids holds the concatenated per-slice ID lists; sum(lengths) must equal
+// len(ids). Every ID must be in [0, Rows). IDs are validated up front so
+// the gather loop itself runs without per-ID checks.
+func (e *EmbeddingTable) SparseLengthsSum(ids []int, lengths []int) *tensor.Tensor {
+	out := tensor.New(len(lengths), e.Cols)
+	e.SparseLengthsSumInto(out, ids, lengths)
 	return out
+}
+
+// SparseLengthsSumInto pools into out, which must have shape
+// [len(lengths), Cols]; gathered rows are accumulated into whatever out
+// already holds (pass a zeroed — e.g. arena-fresh — tensor for plain
+// pooling).
+func (e *EmbeddingTable) SparseLengthsSumInto(out *tensor.Tensor, ids, lengths []int) {
+	checkLengths(ids, lengths)
+	if out.Rank() != 2 || out.Dim(0) != len(lengths) || out.Dim(1) != e.Cols {
+		panic(fmt.Sprintf("nn: SparseLengthsSumInto output shape %v, want [%d %d]", out.Shape(), len(lengths), e.Cols))
+	}
+	e.validateIDs(ids)
+	e.gatherRange(out, ids, lengths, 0, len(lengths), 0)
+}
+
+// ParallelSLS pools like SparseLengthsSumInto, splitting output rows
+// across workers goroutines (0 = GOMAXPROCS). Each output row is owned
+// by exactly one worker and accumulated in the same ID order as the
+// serial kernel, so results are bit-identical. Small gathers run
+// serially.
+func (e *EmbeddingTable) ParallelSLS(out *tensor.Tensor, ids, lengths []int, workers int) {
+	checkLengths(ids, lengths)
+	if out.Rank() != 2 || out.Dim(0) != len(lengths) || out.Dim(1) != e.Cols {
+		panic(fmt.Sprintf("nn: ParallelSLS output shape %v, want [%d %d]", out.Shape(), len(lengths), e.Cols))
+	}
+	e.validateIDs(ids)
+	rows := len(lengths)
+	workers = slsWorkers(workers, rows, len(ids)*e.Cols)
+	if workers <= 1 {
+		e.gatherRange(out, ids, lengths, 0, rows, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	idOff := 0
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi, off int) {
+			defer wg.Done()
+			e.gatherRange(out, ids, lengths, lo, hi, off)
+		}(lo, hi, idOff)
+		for k := lo; k < hi; k++ {
+			idOff += lengths[k]
+		}
+	}
+	wg.Wait()
+}
+
+// minParallelGather is the gathered-element count (IDs × Cols) below
+// which ParallelSLS runs serially.
+const minParallelGather = 1 << 14
+
+func slsWorkers(workers, rows, elems int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rows {
+		workers = rows
+	}
+	if elems < minParallelGather {
+		return 1
+	}
+	return workers
 }
 
 // SparseLengthsMean pools like SparseLengthsSum but averages the
@@ -122,17 +240,55 @@ func (s *SLSOp) Kind() Kind { return KindSLS }
 // Forward pools Lookups rows per sample for a batch of ID lists. ids
 // must contain batch×Lookups entries.
 func (s *SLSOp) Forward(ids []int, batch int) *tensor.Tensor {
+	return s.ForwardEx(ids, batch, nil, 1)
+}
+
+// ForwardEx is Forward with an optional scratch arena for the output
+// tensor and an intra-op worker count (1 = serial, 0 = GOMAXPROCS).
+// The uniform per-sample lookup count means no lengths vector is
+// materialized at all. Results are bit-identical to Forward.
+func (s *SLSOp) ForwardEx(ids []int, batch int, a *tensor.Arena, workers int) *tensor.Tensor {
 	if len(ids) != batch*s.Lookups {
 		panic(fmt.Sprintf("nn: SLSOp expects %d IDs for batch %d, got %d", batch*s.Lookups, batch, len(ids)))
 	}
-	lengths := make([]int, batch)
-	for i := range lengths {
-		lengths[i] = s.Lookups
+	out := allocDense(a, batch, s.Table.Cols)
+	s.Table.validateIDs(ids)
+	workers = slsWorkers(workers, batch, len(ids)*s.Table.Cols)
+	if workers <= 1 {
+		s.gatherUniform(out, ids, 0, batch)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (batch + workers - 1) / workers
+		for lo := 0; lo < batch; lo += chunk {
+			hi := lo + chunk
+			if hi > batch {
+				hi = batch
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				s.gatherUniform(out, ids, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
 	}
 	if s.Mean {
-		return s.Table.SparseLengthsMean(ids, lengths)
+		inv := 1 / float32(s.Lookups)
+		d := out.Data()
+		for i := range d {
+			d[i] *= inv
+		}
 	}
-	return s.Table.SparseLengthsSum(ids, lengths)
+	return out
+}
+
+// gatherUniform pools rows [kLo, kHi) with the op's uniform lookup
+// count. IDs must be pre-validated.
+func (s *SLSOp) gatherUniform(out *tensor.Tensor, ids []int, kLo, kHi int) {
+	l := s.Lookups
+	for k := kLo; k < kHi; k++ {
+		s.Table.accumRow(out.Row(k), ids[k*l:(k+1)*l])
+	}
 }
 
 // Stats reports the gather work: each lookup reads one row of Cols fp32

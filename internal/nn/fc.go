@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"recsys/internal/stats"
 	"recsys/internal/tensor"
@@ -16,6 +17,13 @@ type FC struct {
 	W       *tensor.Tensor // [In, Out]
 	B       []float32      // [Out]
 	label   string
+
+	// packed caches W in the tiled layout the packed GEMM kernel
+	// consumes, built lazily on the first ForwardEx call. Weights are
+	// constant during serving, so the pack cost is paid once per layer
+	// rather than once per request. InvalidatePacked drops it after a
+	// weight update.
+	packed atomic.Pointer[tensor.PackedB]
 }
 
 // NewFC returns an FC layer with Xavier/Glorot-uniform initialized
@@ -43,7 +51,9 @@ func (f *FC) Name() string { return f.label }
 func (f *FC) Kind() Kind { return KindFC }
 
 // Forward computes Y = X·W + b. X must be [batch, In]; the result is a
-// freshly allocated [batch, Out] tensor.
+// freshly allocated [batch, Out] tensor. This is the serial reference
+// path (plain blocked GEMM, no weight packing) that the fast path in
+// ForwardEx is tested bit-identical against.
 func (f *FC) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != f.In {
 		panic(fmt.Sprintf("nn: FC %q input shape %v, want [batch %d]", f.label, x.Shape(), f.In))
@@ -53,6 +63,38 @@ func (f *FC) Forward(x *tensor.Tensor) *tensor.Tensor {
 	tensor.AddBiasRows(y, f.B)
 	return y
 }
+
+// ForwardEx is the inference hot path: the GEMM runs against the
+// cached packed weights and, above the kernel's work threshold, is
+// split row-wise across workers goroutines (1 = serial, 0 =
+// GOMAXPROCS). The output comes from the arena when one is supplied.
+// Results are bit-identical to Forward.
+func (f *FC) ForwardEx(x *tensor.Tensor, a *tensor.Arena, workers int) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != f.In {
+		panic(fmt.Sprintf("nn: FC %q input shape %v, want [batch %d]", f.label, x.Shape(), f.In))
+	}
+	y := allocDense(a, x.Dim(0), f.Out)
+	tensor.ParallelGemmPacked(x, f.packedW(), y, workers)
+	tensor.AddBiasRows(y, f.B)
+	return y
+}
+
+// packedW returns the cached packed weights, packing on first use.
+// Concurrent first calls may pack twice; both results are identical
+// and one wins the store.
+func (f *FC) packedW() *tensor.PackedB {
+	if pb := f.packed.Load(); pb != nil {
+		return pb
+	}
+	pb := tensor.PackB(f.W)
+	f.packed.Store(pb)
+	return pb
+}
+
+// InvalidatePacked drops the cached packed weights. Anything that
+// mutates W (the trainer's optimizer, checkpoint restore) must call
+// this before the next ForwardEx.
+func (f *FC) InvalidatePacked() { f.packed.Store(nil) }
 
 // ParamCount returns the number of learnable parameters.
 func (f *FC) ParamCount() int { return f.In*f.Out + f.Out }
@@ -110,6 +152,19 @@ func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].Out }
 func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
 	for i, fc := range m.Layers {
 		x = fc.Forward(x)
+		if i+1 < len(m.Layers) || m.FinalReLU {
+			ReLUInPlace(x)
+		}
+	}
+	return x
+}
+
+// ForwardEx runs the stack on the inference hot path (packed weights,
+// optional arena, intra-op workers). Results are bit-identical to
+// Forward.
+func (m *MLP) ForwardEx(x *tensor.Tensor, a *tensor.Arena, workers int) *tensor.Tensor {
+	for i, fc := range m.Layers {
+		x = fc.ForwardEx(x, a, workers)
 		if i+1 < len(m.Layers) || m.FinalReLU {
 			ReLUInPlace(x)
 		}

@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"testing"
+
+	"recsys/internal/stats"
+	"recsys/internal/tensor"
+)
+
+// randIDs draws n valid row IDs for a table.
+func randIDs(r *stats.RNG, n, rows int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = r.Intn(rows)
+	}
+	return ids
+}
+
+// TestParallelSLSMatchesSerial checks the row-partitioned gather is
+// bit-identical to the serial kernel across the specialized widths
+// (32, 64) and the generic path, including zero-length slices.
+func TestParallelSLSMatchesSerial(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for _, cols := range []int{32, 64, 40, 1} {
+		table := NewEmbeddingTable("t", 500, cols, rng)
+		lengths := []int{3, 0, 7, 1, 0, 12, 2, 5, 9, 0, 4, 6}
+		total := 0
+		for _, l := range lengths {
+			total += l
+		}
+		ids := randIDs(rng, total, table.Rows)
+		want := table.SparseLengthsSum(ids, lengths)
+		for _, workers := range []int{0, 1, 2, 7} {
+			got := tensor.New(len(lengths), cols)
+			table.ParallelSLS(got, ids, lengths, workers)
+			if !tensor.Equal(got, want, 0) {
+				t.Fatalf("cols %d workers %d: parallel SLS not bit-identical", cols, workers)
+			}
+		}
+	}
+}
+
+func TestSLSOpForwardExMatchesForward(t *testing.T) {
+	rng := stats.NewRNG(32)
+	for _, cols := range []int{32, 64, 24} {
+		for _, mean := range []bool{false, true} {
+			table := NewEmbeddingTable("t", 300, cols, rng)
+			op := NewSLSOp(table, 20)
+			op.Mean = mean
+			batch := 17
+			ids := randIDs(rng, batch*op.Lookups, table.Rows)
+			want := op.Forward(ids, batch)
+			arena := tensor.NewArena()
+			for _, workers := range []int{0, 1, 2, 5} {
+				arena.Reset()
+				got := op.ForwardEx(ids, batch, arena, workers)
+				if !tensor.Equal(got, want, 0) {
+					t.Fatalf("cols %d mean %v workers %d: ForwardEx not bit-identical", cols, mean, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestSLSValidatesBeforeGather ensures hoisting the bounds check out
+// of the inner loop did not lose the check itself.
+func TestSLSValidatesBeforeGather(t *testing.T) {
+	rng := stats.NewRNG(33)
+	table := NewEmbeddingTable("t", 10, 32, rng)
+	for _, bad := range [][]int{{-1}, {10}, {3, 99}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ids %v: expected out-of-range panic", bad)
+				}
+			}()
+			lengths := []int{len(bad)}
+			table.SparseLengthsSum(bad, lengths)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ids %v: expected ForwardEx panic", bad)
+				}
+			}()
+			op := NewSLSOp(table, len(bad))
+			op.ForwardEx(bad, 1, nil, 1)
+		}()
+	}
+}
+
+func TestFCForwardExMatchesForward(t *testing.T) {
+	rng := stats.NewRNG(34)
+	for _, dims := range [][2]int{{1, 1}, {13, 7}, {64, 129}, {479, 1024}} {
+		fc := NewFC("fc", dims[0], dims[1], rng)
+		for _, batch := range []int{1, 3, 64} {
+			x := tensor.New(batch, dims[0])
+			d := x.Data()
+			for i := range d {
+				d[i] = float32(rng.NormFloat64())
+			}
+			want := fc.Forward(x)
+			arena := tensor.NewArena()
+			for _, workers := range []int{0, 1, 2, 7} {
+				arena.Reset()
+				got := fc.ForwardEx(x, arena, workers)
+				if !tensor.Equal(got, want, 0) {
+					t.Fatalf("fc %v batch %d workers %d: ForwardEx not bit-identical", dims, batch, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestFCInvalidatePacked mutates W after the packed cache is built and
+// checks the cache is dropped rather than serving stale weights.
+func TestFCInvalidatePacked(t *testing.T) {
+	rng := stats.NewRNG(35)
+	fc := NewFC("fc", 8, 8, rng)
+	x := tensor.New(2, 8)
+	x.Fill(1)
+	_ = fc.ForwardEx(x, nil, 1) // builds the packed cache
+	fc.W.Data()[0] += 1
+	fc.InvalidatePacked()
+	want := fc.Forward(x)
+	got := fc.ForwardEx(x, nil, 1)
+	if !tensor.Equal(got, want, 0) {
+		t.Fatal("ForwardEx served stale packed weights after InvalidatePacked")
+	}
+}
+
+func TestMLPForwardExMatchesForward(t *testing.T) {
+	rng := stats.NewRNG(36)
+	mlp := NewMLP("mlp", []int{13, 64, 32, 8}, true, rng)
+	x := tensor.New(9, 13)
+	d := x.Data()
+	for i := range d {
+		d[i] = float32(rng.NormFloat64())
+	}
+	want := mlp.Forward(x)
+	arena := tensor.NewArena()
+	for _, workers := range []int{1, 3} {
+		arena.Reset()
+		got := mlp.ForwardEx(x, arena, workers)
+		if !tensor.Equal(got, want, 0) {
+			t.Fatalf("workers %d: MLP ForwardEx not bit-identical", workers)
+		}
+	}
+}
+
+func TestConcatAndDotForwardEx(t *testing.T) {
+	rng := stats.NewRNG(37)
+	c := NewConcat("c", []int{4, 8, 4})
+	ins := make([]*tensor.Tensor, 3)
+	for i, w := range c.Widths {
+		ins[i] = tensor.New(5, w)
+		d := ins[i].Data()
+		for j := range d {
+			d[j] = float32(rng.NormFloat64())
+		}
+	}
+	arena := tensor.NewArena()
+	if !tensor.Equal(c.ForwardEx(ins, arena), c.Forward(ins), 0) {
+		t.Fatal("Concat ForwardEx differs")
+	}
+	dot := NewDotInteraction("d", 4, 4, true)
+	x := c.Forward(ins)
+	if !tensor.Equal(dot.ForwardEx(x, arena), dot.Forward(x), 0) {
+		t.Fatal("DotInteraction ForwardEx differs")
+	}
+}

@@ -1,0 +1,14 @@
+package nn
+
+import "recsys/internal/tensor"
+
+// allocDense returns a zeroed [rows, cols] tensor, carved from the
+// arena when one is supplied and heap-allocated otherwise. Every
+// operator's ForwardEx output comes through here so the arena-backed
+// and allocating paths share one code path.
+func allocDense(a *tensor.Arena, rows, cols int) *tensor.Tensor {
+	if a != nil {
+		return a.Alloc(rows, cols)
+	}
+	return tensor.New(rows, cols)
+}

@@ -1,0 +1,105 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaAllocZeroedAfterReuse(t *testing.T) {
+	a := NewArena()
+	x := a.Alloc(4, 8)
+	x.Fill(3.5)
+	a.Reset()
+	y := a.Alloc(4, 8)
+	for i, v := range y.Data() {
+		if v != 0 {
+			t.Fatalf("reused slab element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestArenaReusesHeadersAndSlab(t *testing.T) {
+	a := NewArena()
+	x := a.Alloc(16, 16)
+	a.Reset()
+	y := a.Alloc(16, 16)
+	if x != y {
+		t.Fatal("arena did not reuse the tensor header after Reset")
+	}
+	if &x.Data()[0] != &y.Data()[0] {
+		t.Fatal("arena did not reuse the slab after Reset")
+	}
+}
+
+// TestArenaGrowthKeepsEarlierTensorsValid forces a mid-pass slab
+// replacement and checks tensors handed out earlier keep their
+// contents.
+func TestArenaGrowthKeepsEarlierTensorsValid(t *testing.T) {
+	a := NewArena()
+	first := a.Alloc(10, 10)
+	first.Fill(1.25)
+	// Far larger than the initial slab, forcing a new one.
+	big := a.Alloc(5000, 10)
+	big.Fill(2)
+	for _, v := range first.Data() {
+		if v != 1.25 {
+			t.Fatalf("earlier tensor corrupted by slab growth: got %v", v)
+		}
+	}
+}
+
+func TestArenaSteadyStateNoAllocs(t *testing.T) {
+	a := NewArena()
+	pass := func() {
+		a.Reset()
+		x := a.Alloc(32, 16)
+		y := a.Alloc(32, 64)
+		_ = a.Ptrs(4)
+		x.Fill(1)
+		y.Fill(2)
+	}
+	pass() // warm the slab and header cache
+	allocs := testing.AllocsPerRun(100, pass)
+	if allocs != 0 {
+		t.Fatalf("steady-state arena pass allocates %v times, want 0", allocs)
+	}
+}
+
+func TestArenaPtrs(t *testing.T) {
+	a := NewArena()
+	p := a.Ptrs(3)
+	if len(p) != 3 {
+		t.Fatalf("Ptrs length %d, want 3", len(p))
+	}
+	p[0] = a.Alloc(1, 1)
+	q := a.Ptrs(2)
+	if q[0] != nil || q[1] != nil {
+		t.Fatal("Ptrs entries not cleared")
+	}
+}
+
+// TestArenaPerWorkerUnderRace exercises independent arenas on
+// concurrent goroutines — the engine's usage pattern — so `go test
+// -race` can vouch for the no-shared-state design.
+func TestArenaPerWorkerUnderRace(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			a := NewArena()
+			for pass := 0; pass < 50; pass++ {
+				a.Reset()
+				x := a.Alloc(8, 8)
+				x.Fill(float32(seed))
+				for _, v := range x.Data() {
+					if v != float32(seed) {
+						t.Errorf("worker %d saw %v", seed, v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

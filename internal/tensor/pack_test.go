@@ -1,0 +1,150 @@
+package tensor
+
+import (
+	"testing"
+
+	"recsys/internal/stats"
+)
+
+// packShapes covers the degenerate and odd cases the micro-kernel's
+// tiling must survive: single rows/columns, inner dims of 1, sizes
+// that are not multiples of blockSize (64) or the nr=4 register tile.
+var packShapes = [][3]int{
+	{1, 1, 1},
+	{1, 8, 8},
+	{8, 1, 8},
+	{8, 8, 1},
+	{3, 5, 7},
+	{64, 64, 64},
+	{64, 32, 48},
+	{65, 63, 66},
+	{300, 64, 80},
+	{517, 33, 129},
+	{2, 130, 3},
+}
+
+func TestGemmPackedMatchesSerial(t *testing.T) {
+	r := stats.NewRNG(21)
+	for _, dims := range packShapes {
+		a := randTensor(r, dims[0], dims[1])
+		b := randTensor(r, dims[1], dims[2])
+		want := New(dims[0], dims[2])
+		Gemm(a, b, want)
+		pb := PackB(b)
+		got := New(dims[0], dims[2])
+		GemmPacked(a, pb, got)
+		if !Equal(got, want, 0) {
+			t.Fatalf("dims %v: packed result not bit-identical to serial Gemm", dims)
+		}
+	}
+}
+
+func TestParallelGemmPackedMatchesSerial(t *testing.T) {
+	r := stats.NewRNG(22)
+	for _, dims := range packShapes {
+		a := randTensor(r, dims[0], dims[1])
+		b := randTensor(r, dims[1], dims[2])
+		want := New(dims[0], dims[2])
+		Gemm(a, b, want)
+		pb := PackB(b)
+		for _, workers := range []int{0, 1, 2, 7} {
+			got := New(dims[0], dims[2])
+			ParallelGemmPacked(a, pb, got, workers)
+			if !Equal(got, want, 0) {
+				t.Fatalf("dims %v workers %d: parallel packed result not bit-identical", dims, workers)
+			}
+		}
+	}
+}
+
+func TestGemmPackedAccumulates(t *testing.T) {
+	r := stats.NewRNG(23)
+	a := randTensor(r, 70, 65)
+	b := randTensor(r, 65, 67)
+	got := randTensor(r, 70, 67)
+	want := got.Clone()
+	Gemm(a, b, want)
+	GemmPacked(a, PackB(b), got)
+	if !Equal(got, want, 0) {
+		t.Fatal("packed accumulation differs from serial")
+	}
+}
+
+// TestGemmPackedZeroSkip checks the packed kernel preserves the
+// reference kernel's skip of zero A entries, which matters for
+// bit-identical signed zeros and NaN propagation.
+func TestGemmPackedZeroSkip(t *testing.T) {
+	a := New(1, 2)
+	a.Set(0, 0, 0) // zero entry must be skipped, not multiplied
+	a.Set(2, 0, 1)
+	b := New(2, 4)
+	for j := 0; j < 4; j++ {
+		b.Set(float32(j+1), 0, j)
+		b.Set(float32(j+5), 1, j)
+	}
+	want := New(1, 4)
+	Gemm(a, b, want)
+	got := New(1, 4)
+	GemmPacked(a, PackB(b), got)
+	if !Equal(got, want, 0) {
+		t.Fatal("zero-skip behaviour differs")
+	}
+}
+
+func TestGemmPackedPanicsOnShapes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := randTensor(stats.NewRNG(1), 2, 5)
+	GemmPacked(New(4, 3), PackB(b), New(4, 5))
+}
+
+func BenchmarkGemmSerial(b *testing.B) {
+	benchGemm(b, func(a, w, c *Tensor, _ *PackedB) { Gemm(a, w, c) })
+}
+
+func BenchmarkGemmPacked(b *testing.B) {
+	benchGemm(b, func(a, _, c *Tensor, pb *PackedB) { GemmPacked(a, pb, c) })
+}
+
+func BenchmarkGemmPackedParallel(b *testing.B) {
+	benchGemm(b, func(a, _, c *Tensor, pb *PackedB) { ParallelGemmPacked(a, pb, c, 0) })
+}
+
+func benchGemm(b *testing.B, f func(a, w, c *Tensor, pb *PackedB)) {
+	r := stats.NewRNG(1)
+	for _, dims := range [][3]int{{64, 512, 512}, {256, 512, 512}} {
+		b.Run(benchName(dims), func(b *testing.B) {
+			a := randTensor(r, dims[0], dims[1])
+			w := randTensor(r, dims[1], dims[2])
+			pb := PackB(w)
+			c := New(dims[0], dims[2])
+			b.SetBytes(int64(4 * dims[0] * dims[1] * dims[2]))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Fill(0)
+				f(a, w, c, pb)
+			}
+		})
+	}
+}
+
+func benchName(d [3]int) string {
+	return "m" + itoa(d[0]) + "k" + itoa(d[1]) + "n" + itoa(d[2])
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

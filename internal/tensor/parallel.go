@@ -1,7 +1,6 @@
 package tensor
 
 import (
-	"runtime"
 	"sync"
 )
 
@@ -9,35 +8,25 @@ import (
 // across workers goroutines (0 = GOMAXPROCS). Because the row
 // partition assigns each output row to exactly one worker and the
 // per-row accumulation order is unchanged, results are bit-identical
-// to the serial kernel.
+// to the serial kernel. Problems below minParallelMAdds multiply-adds
+// run serially — at that size goroutine fan-out costs more than the
+// compute.
 func ParallelGemm(a, b, c *Tensor, workers int) {
-	m, _, _ := checkGemm(a, b, c)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > m {
-		workers = m
-	}
-	if workers <= 1 || m < 2*blockSize {
+	m, k, n := checkGemm(a, b, c)
+	workers = clampWorkers(workers, m, k, n)
+	if workers <= 1 {
 		Gemm(a, b, c)
 		return
 	}
 	var wg sync.WaitGroup
 	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
+	for lo := 0; lo < m; lo += chunk {
+		hi := min(lo+chunk, m)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			aRows := FromSlice(a.data[lo*a.shape[1]:hi*a.shape[1]], hi-lo, a.shape[1])
-			cRows := FromSlice(c.data[lo*c.shape[1]:hi*c.shape[1]], hi-lo, c.shape[1])
+			aRows := FromSlice(a.data[lo*k:hi*k], hi-lo, k)
+			cRows := FromSlice(c.data[lo*n:hi*n], hi-lo, n)
 			Gemm(aRows, b, cRows)
 		}(lo, hi)
 	}

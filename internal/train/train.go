@@ -184,6 +184,9 @@ func (t *Trainer) fcBackward(fc *nn.FC, x, dY *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	t.opt.UpdateDense(fc.Name()+"/b", fc.B, dB)
+	// The serving hot path caches W in packed form; drop the cache so
+	// a model being fine-tuned while served never runs stale weights.
+	fc.InvalidatePacked()
 	return dX
 }
 
