@@ -5,18 +5,31 @@
 // Usage:
 //
 //	loadgen -model rmc2 -machine Skylake -workers 8 -qps 2000 -sla 10ms
+//	loadgen -real -model rmc1 -scale 500 -qps 2000 -requests 5000
+//
+// With -real, loadgen builds the model and drives the real concurrent
+// engine in-process instead of the discrete-event simulator: measured
+// wall-clock latencies, formed-batch histogram, and per-operator time
+// from the instrumented forward pass.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"recsys/internal/arch"
+	batching "recsys/internal/batch" // the batch flag below shadows the package name
+	"recsys/internal/engine"
 	"recsys/internal/model"
 	"recsys/internal/server"
+	"recsys/internal/stats"
+	"recsys/internal/trace"
 )
 
 func main() {
@@ -31,6 +44,8 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed")
 		maxBatch    = flag.Int("max-batch", 0, "enable dynamic batching up to this many samples (0 = fixed batches)")
 		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "dynamic-batching wait bound")
+		real        = flag.Bool("real", false, "drive the real in-process engine instead of the simulator")
+		scale       = flag.Int("scale", 100, "embedding-table shrink factor in -real mode")
 	)
 	flag.Parse()
 
@@ -48,6 +63,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: unknown model %q\n", *preset)
 		os.Exit(1)
 	}
+	if *real {
+		runReal(cfg, *scale, *batch, *workers, *qps, *requests, *sla, *seed, *maxBatch, *maxWait)
+		return
+	}
+
 	m, err := arch.ByName(*machineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -68,8 +88,7 @@ func main() {
 	if *maxBatch > 0 {
 		res = server.SimulateBatched(server.BatcherConfig{
 			SimConfig: sc,
-			MaxBatch:  *maxBatch,
-			MaxWaitUS: float64(maxWait.Microseconds()),
+			Policy:    batching.Policy{MaxBatch: *maxBatch, MaxWait: *maxWait},
 		})
 		fmt.Printf("%s on %s  dynamic batching (<=%d, wait<=%v) workers=%d offered=%.0f QPS  SLA=%v\n\n",
 			cfg.Name, m.Name, *maxBatch, *maxWait, *workers, *qps, *sla)
@@ -86,4 +105,100 @@ func main() {
 	fmt.Printf("SLA violations: %d (%.2f%%)\n", res.SLAViolations, 100*float64(res.SLAViolations)/float64(res.Completed))
 	fmt.Printf("throughput:     %.0f req/s (%.0f items/s)\n", res.ThroughputQPS, res.ThroughputQPS*float64(*batch))
 	fmt.Printf("goodput:        %.0f req/s within SLA\n", res.GoodputQPS())
+}
+
+// runReal drives the real concurrent engine with Poisson-paced
+// requests and reports measured latency, the formed-batch histogram,
+// and the per-operator time split from the instrumented forward pass.
+func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests int, sla time.Duration, seed uint64, maxBatch int, maxWait time.Duration) {
+	if scale > 1 {
+		cfg = cfg.Scaled(scale)
+	}
+	rng := stats.NewRNG(seed)
+	m, err := model.Build(cfg, rng.Split())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if maxBatch <= 0 {
+		maxBatch = 1
+	}
+	srv, err := engine.New(m, engine.Options{
+		Workers:    workers,
+		QueueDepth: 4 * workers * maxBatch,
+		MaxBatch:   maxBatch,
+		MaxWait:    maxWait,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s real engine  batch=%d workers=%d offered=%.0f QPS  coalesce<=%d wait<=%v  SLA=%v\n\n",
+		cfg.Name, batch, workers, qps, maxBatch, maxWait, sla)
+	gen := trace.NewLoadGenerator(qps, batch, rng.Split())
+	arrivals := gen.Take(requests)
+	lat := stats.NewSample(requests)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	violations := 0
+	start := time.Now()
+	for _, ev := range arrivals {
+		at := time.Duration(ev.TimeUS * float64(time.Microsecond))
+		if d := at - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		req := model.NewRandomRequest(cfg, batch, rng)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			if _, err := srv.Rank(context.Background(), req); err != nil {
+				return
+			}
+			l := float64(time.Since(t0).Microseconds())
+			mu.Lock()
+			lat.Add(l)
+			if sla > 0 && l > float64(sla.Microseconds()) {
+				violations++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	srv.Close()
+
+	s := lat.Summarize()
+	fmt.Printf("requests:       %d\n", lat.Len())
+	fmt.Printf("latency mean:   %.1fµs\n", s.Mean)
+	fmt.Printf("latency p50:    %.1fµs\n", s.P50)
+	fmt.Printf("latency p95:    %.1fµs\n", s.P95)
+	fmt.Printf("latency p99:    %.1fµs\n", s.P99)
+	fmt.Printf("SLA violations: %d (%.2f%%)\n", violations, 100*float64(violations)/float64(lat.Len()))
+	fmt.Printf("throughput:     %.0f req/s\n", float64(lat.Len())/elapsed.Seconds())
+
+	st := srv.Stats()
+	fmt.Printf("\nformed batches: %d (avg %.1f samples)\n", st.Batches, st.AvgBatch())
+	sizes := make([]int, 0, len(st.BatchHist))
+	for sz := range st.BatchHist {
+		sizes = append(sizes, sz)
+	}
+	sort.Ints(sizes)
+	for _, sz := range sizes {
+		fmt.Printf("  batch %4d: %d\n", sz, st.BatchHist[sz])
+	}
+	if len(st.KindUS) > 0 {
+		fmt.Println("\noperator time:")
+		kinds := make([]string, 0, len(st.KindUS))
+		var total float64
+		for k, us := range st.KindUS {
+			kinds = append(kinds, k)
+			total += us
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Printf("  %-18s %10.0fµs  (%.1f%%)\n", k, st.KindUS[k], 100*st.KindUS[k]/total)
+		}
+	}
 }

@@ -1,19 +1,34 @@
-// Command serve runs a recommendation model as an HTTP ranking service
-// using the concurrent inference engine (worker pool + cross-request
-// batching).
+// Command serve runs recommendation models as an HTTP ranking service
+// using the concurrent inference engine (model registry, per-model
+// batching, shared worker pool).
 //
 //	serve -checkpoint model.ckpt -addr :8080
-//	serve -model rmc1 -scale 100         # a scaled Table I preset
+//	serve -model rmc1 -scale 100                # a scaled Table I preset
+//	serve -model filter=rmc1:500@2 -model ranker=rmc3:500
 //
-// Endpoints: POST /rank, GET /stats, GET /healthz.
+// Repeating -model co-locates several models in one engine (the
+// heterogeneous-serving scenario of the paper's §VI). Each spec is
+// name=preset[:scale][@weight], or a bare preset for single-model use.
+// The first model is the default target of POST /rank.
+//
+// Endpoints: POST /rank, POST /rank/{model}, GET /stats,
+// GET /stats/{model}, GET /models, GET /healthz.
+//
+// On SIGINT/SIGTERM, serve stops accepting connections, waits up to
+// -drain for in-flight requests, then drains the engine and exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"recsys/internal/engine"
@@ -21,25 +36,34 @@ import (
 	"recsys/internal/stats"
 )
 
+// modelSpecs collects repeated -model flags.
+type modelSpecs []string
+
+func (s *modelSpecs) String() string { return strings.Join(*s, ",") }
+
+func (s *modelSpecs) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
 func main() {
+	var specs modelSpecs
 	var (
 		checkpoint = flag.String("checkpoint", "", "model checkpoint to serve (from Model.SaveFile)")
-		preset     = flag.String("model", "rmc1", "preset when no checkpoint is given: rmc1, rmc2, rmc3, ncf")
-		scale      = flag.Int("scale", 100, "embedding-table shrink factor for presets")
+		scale      = flag.Int("scale", 100, "embedding-table shrink factor for presets without an explicit :scale")
 		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 4, "inference workers")
+		workers    = flag.Int("workers", 4, "inference workers shared by all models")
 		intraOp    = flag.Int("intra-op", 0, "goroutines per forward pass (0 = GOMAXPROCS/workers)")
 		maxBatch   = flag.Int("max-batch", 32, "cross-request batch limit (samples)")
 		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "batch formation wait bound")
+		drain      = flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
 		seed       = flag.Uint64("seed", 1, "weight seed for presets")
 	)
+	flag.Var(&specs, "model",
+		"model to serve, name=preset[:scale][@weight] (repeatable; bare preset = single model)")
 	flag.Parse()
 
-	m, err := loadModel(*checkpoint, *preset, *scale, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv, err := engine.New(m, engine.Options{
+	eng, err := engine.NewEngine(engine.Options{
 		Workers:        *workers,
 		QueueDepth:     4 * *workers * *maxBatch,
 		MaxBatch:       *maxBatch,
@@ -49,19 +73,95 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
 
+	if err := registerModels(eng, *checkpoint, specs, *scale, *seed); err != nil {
+		log.Fatal(err)
+	}
 	log.Printf("serving %s on %s (%d workers, batch<=%d, wait<=%v)",
-		m.Config.Name, *addr, *workers, *maxBatch, *maxWait)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+		strings.Join(eng.Models(), ", "), *addr, *workers, *maxBatch, *maxWait)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: eng.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		eng.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (draining up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("forced shutdown: %v", err)
+	}
+	eng.Close()
+	log.Print("bye")
 }
 
-func loadModel(checkpoint, preset string, scale int, seed uint64) (*model.Model, error) {
+// registerModels fills the engine's registry from the flags: a
+// checkpoint, explicit -model specs, or the single-preset default.
+func registerModels(eng *engine.Engine, checkpoint string, specs modelSpecs, defaultScale int, seed uint64) error {
 	if checkpoint != "" {
-		return model.LoadFile(checkpoint)
+		if len(specs) > 0 {
+			return errors.New("serve: -checkpoint and -model are mutually exclusive")
+		}
+		m, err := model.LoadFile(checkpoint)
+		if err != nil {
+			return err
+		}
+		return eng.Register(engine.DefaultModelName, m, engine.ModelOptions{})
+	}
+	if len(specs) == 0 {
+		specs = modelSpecs{"rmc1"}
+	}
+	rng := stats.NewRNG(seed)
+	for _, spec := range specs {
+		name, m, weight, err := buildSpec(spec, defaultScale, rng.Split())
+		if err != nil {
+			return err
+		}
+		if err := eng.Register(name, m, engine.ModelOptions{Weight: weight}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildSpec parses one -model value — name=preset[:scale][@weight],
+// with name= optional when serving a single preset — and builds the
+// model.
+func buildSpec(spec string, defaultScale int, rng *stats.RNG) (name string, m *model.Model, weight int, err error) {
+	rest := spec
+	name = engine.DefaultModelName
+	if eq := strings.IndexByte(rest, '='); eq >= 0 {
+		name, rest = rest[:eq], rest[eq+1:]
+		if name == "" {
+			return "", nil, 0, fmt.Errorf("serve: empty model name in %q", spec)
+		}
+	}
+	weight = 1
+	if at := strings.IndexByte(rest, '@'); at >= 0 {
+		weight, err = strconv.Atoi(rest[at+1:])
+		if err != nil || weight <= 0 {
+			return "", nil, 0, fmt.Errorf("serve: bad weight in %q", spec)
+		}
+		rest = rest[:at]
+	}
+	scale := defaultScale
+	if colon := strings.IndexByte(rest, ':'); colon >= 0 {
+		scale, err = strconv.Atoi(rest[colon+1:])
+		if err != nil || scale <= 0 {
+			return "", nil, 0, fmt.Errorf("serve: bad scale in %q", spec)
+		}
+		rest = rest[:colon]
 	}
 	var cfg model.Config
-	switch strings.ToLower(preset) {
+	switch strings.ToLower(rest) {
 	case "rmc1":
 		cfg = model.RMC1Small()
 	case "rmc2":
@@ -71,10 +171,14 @@ func loadModel(checkpoint, preset string, scale int, seed uint64) (*model.Model,
 	case "ncf":
 		cfg = model.MLPerfNCF()
 	default:
-		return nil, fmt.Errorf("serve: unknown preset %q", preset)
+		return "", nil, 0, fmt.Errorf("serve: unknown preset %q", rest)
 	}
 	if scale > 1 {
 		cfg = cfg.Scaled(scale)
 	}
-	return model.Build(cfg, stats.NewRNG(seed))
+	m, err = model.Build(cfg, rng)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	return name, m, weight, nil
 }

@@ -1,0 +1,70 @@
+// Package batch holds the dynamic-batching dispatch policy shared by
+// the discrete-event serving simulator (internal/server) and the real
+// concurrent inference engine (internal/engine). Both tiers coalesce
+// single requests into larger forward passes — the batching lever of
+// the paper's §III — and both must answer the same two questions: when
+// is a forming batch full, and how long may the oldest request wait?
+// Keeping the policy in one type guarantees the simulated and real
+// batch formers cannot drift apart.
+package batch
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy bounds one model's batch former: coalesce queued requests
+// until the batch reaches MaxBatch items, or the oldest queued request
+// has waited MaxWait, whichever comes first.
+type Policy struct {
+	// MaxBatch is the largest coalesced batch, in items (queries for
+	// the simulator, samples for the real engine). 1 disables
+	// coalescing.
+	MaxBatch int
+	// MaxWait bounds the queueing delay spent forming a batch. 0
+	// dispatches immediately — only requests already queued (or
+	// arriving at the same instant, for the simulator) share a batch.
+	MaxWait time.Duration
+}
+
+// Validate checks the policy bounds.
+func (p Policy) Validate() error {
+	if p.MaxBatch <= 0 {
+		return fmt.Errorf("batch: MaxBatch must be positive, got %d", p.MaxBatch)
+	}
+	if p.MaxWait < 0 {
+		return fmt.Errorf("batch: negative MaxWait %v", p.MaxWait)
+	}
+	return nil
+}
+
+// Enabled reports whether the policy coalesces at all.
+func (p Policy) Enabled() bool { return p.MaxBatch > 1 }
+
+// Full reports whether a forming batch of n items must dispatch.
+func (p Policy) Full(n int) bool { return n >= p.MaxBatch }
+
+// WaitUS is MaxWait in the simulator's microsecond clock.
+func (p Policy) WaitUS() float64 { return float64(p.MaxWait) / float64(time.Microsecond) }
+
+// CutUS forms one batch from a time-ordered arrival sequence: given
+// arrival times in microseconds and the index i of the first queued
+// arrival, it returns the end index j of the half-open batch [i, j)
+// and the dispatch time. The batch dispatches when it fills, when the
+// wait timer of arrival i fires, or when the stream ends (final
+// flush, possibly smaller than MaxBatch). Arrivals exactly at the
+// deadline are included — simultaneous arrivals always share a batch,
+// even with MaxWait 0.
+func (p Policy) CutUS(arrivalsUS []float64, i int) (j int, readyUS float64) {
+	deadline := arrivalsUS[i] + p.WaitUS()
+	j = i + 1
+	for j < len(arrivalsUS) && j-i < p.MaxBatch && arrivalsUS[j] <= deadline {
+		j++
+	}
+	readyUS = arrivalsUS[j-1]
+	if j-i < p.MaxBatch && j < len(arrivalsUS) {
+		// The batch did not fill: it dispatched on the wait timer.
+		readyUS = deadline
+	}
+	return j, readyUS
+}

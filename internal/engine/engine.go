@@ -1,35 +1,44 @@
 // Package engine is a real (not simulated) concurrent inference
-// server: a goroutine worker pool drains a bounded request queue,
-// optionally coalescing concurrent requests into larger batches — the
-// production pattern the paper's batching analysis (§III, §V)
-// motivates. Results are bit-identical to unbatched execution because
-// the forward pass is row-independent.
+// server, layered the way the paper's serving analysis (§III, §V-VI)
+// and DeepRecSys motivate:
+//
+//   - a model registry of named, hot-registerable/swappable models
+//     (registry.go);
+//   - one admission queue and batch former per model, sharing the
+//     dispatch policy type with the serving simulator (queue.go,
+//     internal/batch);
+//   - a shared executor worker pool that drains every queue with a
+//     weighted-fair pick (executor.go);
+//   - an instrumented forward pass whose per-operator spans feed
+//     per-model serving stats (stats.go, model.ForwardSpans).
+//
+// Results are bit-identical to unbatched direct execution because the
+// forward pass is row-independent. The single-model Server below is a
+// thin wrapper over a one-entry registry, preserving the original API.
 package engine
 
 import (
 	"context"
 	"errors"
-	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"recsys/internal/model"
-	"recsys/internal/stats"
-	"recsys/internal/tensor"
 )
 
-// Options configures the server.
+// Options configures the engine.
 type Options struct {
-	// Workers is the number of parallel inference goroutines.
+	// Workers is the number of parallel executor goroutines shared by
+	// all registered models.
 	Workers int
-	// QueueDepth bounds the pending-request queue.
+	// QueueDepth bounds each model's pending-request queue.
 	QueueDepth int
-	// MaxBatch enables cross-request coalescing up to this many samples
-	// per forward pass; 1 disables batching.
+	// MaxBatch is the default per-model cross-request coalescing limit
+	// in samples per forward pass; 1 disables batching. Individual
+	// models can override it via ModelOptions.Policy.
 	MaxBatch int
-	// MaxWait bounds how long a worker waits to fill a batch.
+	// MaxWait is the default bound on how long a batch former waits to
+	// fill a batch.
 	MaxWait time.Duration
 	// IntraOpWorkers is the goroutine fan-out inside one forward pass
 	// (packed GEMM and SLS row partitioning). 0 derives
@@ -40,7 +49,7 @@ type Options struct {
 	IntraOpWorkers int
 }
 
-// DefaultOptions returns a 4-worker server with moderate batching.
+// DefaultOptions returns a 4-worker engine with moderate batching.
 func DefaultOptions() Options {
 	return Options{Workers: 4, QueueDepth: 256, MaxBatch: 32, MaxWait: 2 * time.Millisecond}
 }
@@ -61,75 +70,14 @@ func resolveIntraOp(opts Options) int {
 // ErrClosed is returned by Rank after Close.
 var ErrClosed = errors.New("engine: server closed")
 
-// Stats are cumulative serving counters and latency percentiles.
-type Stats struct {
-	Requests int64 // Rank calls completed successfully
-	Samples  int64 // user-item pairs ranked
-	Batches  int64 // forward passes executed
-	Errors   int64 // failed requests (bad input or cancelled)
-	// P50US, P95US, and P99US are end-to-end Rank latency percentiles
-	// in microseconds over a sliding window of recent requests.
-	P50US, P95US, P99US float64
-}
+// DefaultModelName is the registry entry the single-model Server uses.
+const DefaultModelName = "default"
 
-// AvgBatch returns the mean samples per forward pass.
-func (s Stats) AvgBatch() float64 {
-	if s.Batches == 0 {
-		return 0
-	}
-	return float64(s.Samples) / float64(s.Batches)
-}
-
-// Server serves a materialized model.
+// Server serves a single materialized model: a one-entry Engine kept
+// for the original single-model API and its callers.
 type Server struct {
+	eng   *Engine
 	model *model.Model
-	opts  Options
-
-	jobs    chan *job
-	closing chan struct{}
-	wg      sync.WaitGroup // workers
-	senders sync.WaitGroup // Rank calls between admission and enqueue
-
-	mu     sync.Mutex
-	closed bool
-
-	requests atomic.Int64
-	samples  atomic.Int64
-	batches  atomic.Int64
-	errs     atomic.Int64
-
-	latMu  sync.Mutex
-	latBuf []float64 // ring of recent request latencies (µs)
-	latPos int
-	latLen int
-}
-
-// latencyWindow is the number of recent requests the latency
-// percentiles cover.
-const latencyWindow = 4096
-
-func (s *Server) recordLatency(us float64) {
-	s.latMu.Lock()
-	if s.latBuf == nil {
-		s.latBuf = make([]float64, latencyWindow)
-	}
-	s.latBuf[s.latPos] = us
-	s.latPos = (s.latPos + 1) % latencyWindow
-	if s.latLen < latencyWindow {
-		s.latLen++
-	}
-	s.latMu.Unlock()
-}
-
-type job struct {
-	ctx  context.Context
-	req  model.Request
-	resp chan jobResult
-}
-
-type jobResult struct {
-	ctr []float32
-	err error
 }
 
 // New starts a server for the model. It returns an error on nil model
@@ -138,262 +86,38 @@ func New(m *model.Model, opts Options) (*Server, error) {
 	if m == nil {
 		return nil, errors.New("engine: nil model")
 	}
-	if opts.Workers <= 0 || opts.QueueDepth <= 0 {
-		return nil, fmt.Errorf("engine: workers and queue depth must be positive, got %d, %d", opts.Workers, opts.QueueDepth)
+	eng, err := NewEngine(opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.MaxBatch <= 0 {
-		opts.MaxBatch = 1
+	if err := eng.Register(DefaultModelName, m, ModelOptions{}); err != nil {
+		eng.Close()
+		return nil, err
 	}
-	opts.IntraOpWorkers = resolveIntraOp(opts)
-	s := &Server{
-		model:   m,
-		opts:    opts,
-		jobs:    make(chan *job, opts.QueueDepth),
-		closing: make(chan struct{}),
-	}
-	s.wg.Add(opts.Workers)
-	for i := 0; i < opts.Workers; i++ {
-		go s.worker()
-	}
-	return s, nil
+	return &Server{eng: eng, model: m}, nil
 }
 
-// Rank scores one batched request, blocking until a worker completes it
-// or ctx is done.
-func (s *Server) Rank(ctx context.Context, req model.Request) ([]float32, error) {
-	// Admission: register as a sender under the lock so Close waits for
-	// the enqueue (or its abort) before closing the jobs channel.
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, ErrClosed
-	}
-	s.senders.Add(1)
-	s.mu.Unlock()
+// Engine exposes the underlying registry, e.g. to co-locate more
+// models next to the primary one.
+func (s *Server) Engine() *Engine { return s.eng }
 
-	j := &job{ctx: ctx, req: req, resp: make(chan jobResult, 1)}
-	select {
-	case s.jobs <- j:
-		s.senders.Done()
-	case <-ctx.Done():
-		s.senders.Done()
-		s.errs.Add(1)
-		return nil, ctx.Err()
-	case <-s.closing:
-		s.senders.Done()
-		s.errs.Add(1)
-		return nil, ErrClosed
-	}
-	start := time.Now()
-	select {
-	case r := <-j.resp:
-		if r.err != nil {
-			s.errs.Add(1)
-			return nil, r.err
-		}
-		s.requests.Add(1)
-		s.recordLatency(float64(time.Since(start).Microseconds()))
-		return r.ctr, nil
-	case <-ctx.Done():
-		// The worker may still process the job; its result is dropped.
-		s.errs.Add(1)
-		return nil, ctx.Err()
-	}
+// Rank scores one batched request, blocking until a worker completes
+// it or ctx is done.
+func (s *Server) Rank(ctx context.Context, req model.Request) ([]float32, error) {
+	return s.eng.Rank(ctx, DefaultModelName, req)
 }
 
 // Close stops accepting requests, drains the queue, and waits for
 // workers to finish. Rank calls blocked on a full queue are aborted
 // with ErrClosed. Close is idempotent.
-func (s *Server) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	s.closed = true
-	close(s.closing)
-	s.mu.Unlock()
-	// Wait for in-flight enqueues to land or abort, then close the
-	// channel so workers drain and exit.
-	s.senders.Wait()
-	close(s.jobs)
-	s.wg.Wait()
-}
+func (s *Server) Close() { s.eng.Close() }
 
 // Stats returns a snapshot of the serving counters and latency
 // percentiles.
 func (s *Server) Stats() Stats {
-	st := Stats{
-		Requests: s.requests.Load(),
-		Samples:  s.samples.Load(),
-		Batches:  s.batches.Load(),
-		Errors:   s.errs.Load(),
+	st, err := s.eng.ModelStats(DefaultModelName)
+	if err != nil {
+		return Stats{}
 	}
-	s.latMu.Lock()
-	if s.latLen > 0 {
-		sample := stats.NewSample(s.latLen)
-		sample.AddAll(s.latBuf[:s.latLen])
-		st.P50US = sample.Percentile(50)
-		st.P95US = sample.Percentile(95)
-		st.P99US = sample.Percentile(99)
-	}
-	s.latMu.Unlock()
 	return st
-}
-
-// workerScratch is the per-worker reusable state: a tensor arena for
-// every activation of the forward pass, plus the coalesced-request
-// buffers merge refills in place. One scratch per worker goroutine, so
-// no locking — the paper's intra/inter-op split keeps each request's
-// working set private to one worker.
-type workerScratch struct {
-	arena *tensor.Arena
-	dense []float32 // merged dense features, grown to high-water mark
-	ids   [][]int   // per-table merged ID lists, capacities reused
-}
-
-func (s *Server) worker() {
-	defer s.wg.Done()
-	scratch := &workerScratch{
-		arena: tensor.NewArena(),
-		ids:   make([][]int, len(s.model.Config.Tables)),
-	}
-	for j := range s.jobs {
-		batch := []*job{j}
-		samples := j.req.Batch
-		// Coalesce more requests up to MaxBatch samples or MaxWait.
-		if s.opts.MaxBatch > 1 {
-			deadline := time.NewTimer(s.opts.MaxWait)
-		collect:
-			for samples < s.opts.MaxBatch {
-				select {
-				case next, ok := <-s.jobs:
-					if !ok {
-						break collect
-					}
-					batch = append(batch, next)
-					samples += next.req.Batch
-				case <-deadline.C:
-					break collect
-				}
-			}
-			deadline.Stop()
-		}
-		s.process(batch, samples, scratch)
-	}
-}
-
-// process runs one coalesced forward pass and distributes the results.
-func (s *Server) process(batch []*job, samples int, scratch *workerScratch) {
-	// Drop requests whose context is already done.
-	live := batch[:0]
-	for _, j := range batch {
-		if err := j.ctx.Err(); err != nil {
-			j.resp <- jobResult{err: err}
-			continue
-		}
-		live = append(live, j)
-	}
-	if len(live) == 0 {
-		return
-	}
-
-	merged, err := s.merge(live, scratch)
-	if err != nil {
-		// Fall back to per-request execution so one malformed request
-		// cannot poison its batch peers.
-		for _, j := range live {
-			ctr, err := s.forward(j.req, scratch)
-			j.resp <- jobResult{ctr: ctr, err: err}
-		}
-		return
-	}
-	ctr, err := s.forward(merged, scratch)
-	if err != nil {
-		for _, j := range live {
-			j.resp <- jobResult{err: err}
-		}
-		return
-	}
-	off := 0
-	for _, j := range live {
-		j.resp <- jobResult{ctr: ctr[off : off+j.req.Batch : off+j.req.Batch]}
-		off += j.req.Batch
-	}
-}
-
-// forward runs the model on the arena-backed hot path, converting
-// panics from malformed requests into errors. The returned CTR slice
-// is freshly allocated (it escapes to the caller's response channel);
-// every intermediate activation lives in the worker's arena, which is
-// recycled per call.
-func (s *Server) forward(req model.Request, scratch *workerScratch) (ctr []float32, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("engine: inference failed: %v", r)
-		}
-	}()
-	scratch.arena.Reset()
-	ctr = s.model.AppendCTR(make([]float32, 0, req.Batch), req, scratch.arena, s.opts.IntraOpWorkers)
-	s.batches.Add(1)
-	s.samples.Add(int64(req.Batch))
-	return ctr, nil
-}
-
-// merge concatenates requests into one, reusing the worker's dense and
-// per-table ID buffers so steady-state coalescing does not allocate.
-// All requests must match the model's input shapes; mismatches return
-// an error. The returned request aliases scratch and is valid until
-// the next merge on the same worker.
-func (s *Server) merge(jobs []*job, scratch *workerScratch) (model.Request, error) {
-	if len(jobs) == 1 {
-		return jobs[0].req, nil
-	}
-	cfg := s.model.Config
-	total := 0
-	for _, j := range jobs {
-		r := j.req
-		if r.Batch <= 0 {
-			return model.Request{}, fmt.Errorf("engine: non-positive batch %d", r.Batch)
-		}
-		if cfg.DenseIn > 0 && (r.Dense == nil || r.Dense.Dim(0) != r.Batch || r.Dense.Dim(1) != cfg.DenseIn) {
-			return model.Request{}, errors.New("engine: dense shape mismatch")
-		}
-		if len(r.SparseIDs) != len(cfg.Tables) {
-			return model.Request{}, errors.New("engine: sparse input count mismatch")
-		}
-		for ti, ids := range r.SparseIDs {
-			if len(ids) != r.Batch*cfg.Tables[ti].Lookups {
-				return model.Request{}, errors.New("engine: sparse ID count mismatch")
-			}
-		}
-		total += r.Batch
-	}
-	out := model.Request{Batch: total}
-	if cfg.DenseIn > 0 {
-		need := total * cfg.DenseIn
-		if cap(scratch.dense) < need {
-			scratch.dense = make([]float32, need)
-		}
-		out.Dense = tensor.FromSlice(scratch.dense[:need], total, cfg.DenseIn)
-		row := 0
-		for _, j := range jobs {
-			for b := 0; b < j.req.Batch; b++ {
-				copy(out.Dense.Row(row), j.req.Dense.Row(b))
-				row++
-			}
-		}
-	}
-	out.SparseIDs = scratch.ids
-	for ti := range cfg.Tables {
-		ids := scratch.ids[ti][:0]
-		if need := total * cfg.Tables[ti].Lookups; cap(ids) < need {
-			ids = make([]int, 0, need)
-		}
-		for _, j := range jobs {
-			ids = append(ids, j.req.SparseIDs[ti]...)
-		}
-		scratch.ids[ti] = ids
-	}
-	return out, nil
 }

@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"recsys/internal/model"
+	"recsys/internal/tensor"
+)
+
+// The executor is the shared worker pool that drains every model
+// queue. Workers pick queues weighted-fairly (smooth weighted
+// round-robin), form a batch with the queue's policy, and run the
+// instrumented forward pass on per-worker scratch state. Dividing one
+// socket's cores between inter-request workers and intra-op kernel
+// goroutines is the co-location structure of the paper's §V-§VI.
+
+// workerScratch is the per-worker reusable state: a tensor arena for
+// every activation of the forward pass, plus the coalesced-request
+// buffers merge refills in place. One scratch per worker goroutine, so
+// no locking — the paper's intra/inter-op split keeps each request's
+// working set private to one worker.
+type workerScratch struct {
+	arena *tensor.Arena
+	batch []*job    // forming-batch buffer, reused across dispatches
+	dense []float32 // merged dense features, grown to high-water mark
+	ids   [][]int   // per-table merged ID lists, capacities reused
+}
+
+// tables returns the per-table ID buffers sized for n tables, reusing
+// inner capacities across models of different widths.
+func (w *workerScratch) tables(n int) [][]int {
+	for len(w.ids) < n {
+		w.ids = append(w.ids, nil)
+	}
+	return w.ids[:n]
+}
+
+// kick wakes an idle worker (non-blocking; dropped tokens are safe
+// because every woken worker rescans all queues until they are empty).
+func (e *Engine) kick() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pickOrder advances the smooth weighted round-robin state once and
+// returns the queues in preference order: the selected queue first,
+// then the rest by descending WRR priority. Weighted fairness shapes
+// who is *offered* the next dispatch slot; a preferred queue that
+// turns out empty costs nothing because the worker just tries the
+// next.
+func (e *Engine) pickOrder(buf []*modelQueue) []*modelQueue {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	buf = append(buf[:0], e.order...)
+	if len(buf) < 2 {
+		return buf
+	}
+	// Smooth WRR (Nginx-style): raise every queue's current priority
+	// by its weight, select the max, charge it the total weight.
+	for _, mq := range buf {
+		e.wrrCur[mq] += mq.weight
+	}
+	best := 0
+	for i, mq := range buf {
+		if e.wrrCur[mq] > e.wrrCur[buf[best]] {
+			best = i
+		}
+	}
+	e.wrrCur[buf[best]] -= e.wrrTotal
+	// Order by current priority, selected queue first. Insertion sort:
+	// the co-location fan-out is a handful of models, not thousands.
+	buf[0], buf[best] = buf[best], buf[0]
+	for i := 2; i < len(buf); i++ {
+		for j := i; j > 1 && e.wrrCur[buf[j]] > e.wrrCur[buf[j-1]]; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	return buf
+}
+
+// tryPick scans the queues in weighted-fair order and pops the first
+// available job, returning its queue.
+func (e *Engine) tryPick(buf []*modelQueue) (*modelQueue, *job, []*modelQueue) {
+	buf = e.pickOrder(buf)
+	for _, mq := range buf {
+		if j, ok := mq.tryPop(); ok {
+			return mq, j, buf
+		}
+	}
+	return nil, nil, buf
+}
+
+// worker is one executor goroutine: scan for work, dispatch, sleep
+// only when every queue is empty.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	scratch := &workerScratch{arena: tensor.NewArena()}
+	var order []*modelQueue
+	for {
+		var mq *modelQueue
+		var j *job
+		mq, j, order = e.tryPick(order)
+		if j == nil {
+			select {
+			case <-e.wake:
+				continue
+			case <-e.done:
+				// Final drain: admissions have stopped; empty every
+				// queue, then exit.
+				for {
+					mq, j, order = e.tryPick(order)
+					if j == nil {
+						return
+					}
+					e.dispatch(mq, j, scratch)
+				}
+			}
+		}
+		// Surplus work may remain on other queues; hand scanning off
+		// to an idle peer before committing to this batch.
+		e.kick()
+		e.dispatch(mq, j, scratch)
+	}
+}
+
+// dispatch forms a batch behind first and processes it.
+func (e *Engine) dispatch(mq *modelQueue, first *job, scratch *workerScratch) {
+	jobs, samples := mq.formBatch(first, scratch.batch, e.done)
+	scratch.batch = jobs[:0]
+	e.process(mq, jobs, samples, scratch)
+}
+
+// process runs one coalesced forward pass and distributes the results.
+func (e *Engine) process(mq *modelQueue, jobs []*job, samples int, scratch *workerScratch) {
+	// Drop requests whose context is already done.
+	live := jobs[:0]
+	for _, j := range jobs {
+		if err := j.ctx.Err(); err != nil {
+			j.resp <- jobResult{err: err}
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+	m := mq.model.Load()
+	merged, err := merge(m.Config, live, scratch)
+	if err != nil {
+		// Fall back to per-request execution so one malformed request
+		// cannot poison its batch peers.
+		for _, j := range live {
+			ctr, err := e.forward(mq, m, j.req, scratch)
+			j.resp <- jobResult{ctr: ctr, err: err}
+		}
+		return
+	}
+	ctr, err := e.forward(mq, m, merged, scratch)
+	if err != nil {
+		for _, j := range live {
+			j.resp <- jobResult{err: err}
+		}
+		return
+	}
+	off := 0
+	for _, j := range live {
+		j.resp <- jobResult{ctr: ctr[off : off+j.req.Batch : off+j.req.Batch]}
+		off += j.req.Batch
+	}
+}
+
+// forward runs the instrumented model forward pass on the arena-backed
+// hot path, converting panics from malformed requests into errors. The
+// returned CTR slice is freshly allocated (it escapes to the caller's
+// response channel); every intermediate activation lives in the
+// worker's arena, which is recycled per call. Per-operator spans land
+// in the queue's kind accumulators.
+func (e *Engine) forward(mq *modelQueue, m *model.Model, req model.Request, scratch *workerScratch) (ctr []float32, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: inference failed: %v", r)
+		}
+	}()
+	scratch.arena.Reset()
+	out := m.ForwardSpans(req, scratch.arena, e.opts.IntraOpWorkers, &mq.counters)
+	ctr = append(make([]float32, 0, req.Batch), out.Data()...)
+	mq.recordBatch(req.Batch)
+	return ctr, nil
+}
+
+// merge concatenates requests into one, reusing the worker's dense and
+// per-table ID buffers so steady-state coalescing does not allocate.
+// All requests must match the model's input shapes; mismatches return
+// an error. The returned request aliases scratch and is valid until
+// the next merge on the same worker.
+func merge(cfg model.Config, jobs []*job, scratch *workerScratch) (model.Request, error) {
+	if len(jobs) == 1 {
+		return jobs[0].req, nil
+	}
+	total := 0
+	for _, j := range jobs {
+		r := j.req
+		if r.Batch <= 0 {
+			return model.Request{}, fmt.Errorf("engine: non-positive batch %d", r.Batch)
+		}
+		if cfg.DenseIn > 0 && (r.Dense == nil || r.Dense.Dim(0) != r.Batch || r.Dense.Dim(1) != cfg.DenseIn) {
+			return model.Request{}, errors.New("engine: dense shape mismatch")
+		}
+		if len(r.SparseIDs) != len(cfg.Tables) {
+			return model.Request{}, errors.New("engine: sparse input count mismatch")
+		}
+		for ti, ids := range r.SparseIDs {
+			if len(ids) != r.Batch*cfg.Tables[ti].Lookups {
+				return model.Request{}, errors.New("engine: sparse ID count mismatch")
+			}
+		}
+		total += r.Batch
+	}
+	out := model.Request{Batch: total}
+	if cfg.DenseIn > 0 {
+		need := total * cfg.DenseIn
+		if cap(scratch.dense) < need {
+			scratch.dense = make([]float32, need)
+		}
+		out.Dense = tensor.FromSlice(scratch.dense[:need], total, cfg.DenseIn)
+		row := 0
+		for _, j := range jobs {
+			for b := 0; b < j.req.Batch; b++ {
+				copy(out.Dense.Row(row), j.req.Dense.Row(b))
+				row++
+			}
+		}
+	}
+	tables := scratch.tables(len(cfg.Tables))
+	out.SparseIDs = tables
+	for ti := range cfg.Tables {
+		ids := tables[ti][:0]
+		if need := total * cfg.Tables[ti].Lookups; cap(ids) < need {
+			ids = make([]int, 0, need)
+		}
+		for _, j := range jobs {
+			ids = append(ids, j.req.SparseIDs[ti]...)
+		}
+		tables[ti] = ids
+	}
+	return out, nil
+}

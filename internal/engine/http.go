@@ -10,18 +10,21 @@ import (
 	"recsys/internal/tensor"
 )
 
-// HTTP front-end: a JSON ranking endpoint over the concurrent server,
-// so a trained checkpoint can be served as a network service.
+// HTTP front-end: JSON ranking endpoints over the multi-model engine,
+// so trained checkpoints can be served as a network service.
 //
-//	POST /rank    {"dense": [[...]], "sparse_ids": [[...], ...]}
-//	           →  {"ctr": [...]}
-//	GET  /stats   serving counters
-//	GET  /healthz liveness
+//	POST /rank            {"dense": [[...]], "sparse_ids": [[...], ...]}
+//	                   →  {"ctr": [...]}        (default model)
+//	POST /rank/{model}    same body, routed to a named model
+//	GET  /stats           aggregate counters + per-model breakdown
+//	GET  /stats/{model}   one model's counters
+//	GET  /models          registered model names
+//	GET  /healthz         liveness
 //
 // The request's batch size is inferred from the dense rows (or, for
 // models without a dense path, from the first table's ID count).
 
-// RankRequest is the JSON body of POST /rank.
+// RankRequest is the JSON body of POST /rank and POST /rank/{model}.
 type RankRequest struct {
 	// Dense holds batch rows of continuous features; omit for models
 	// without a dense path.
@@ -31,16 +34,23 @@ type RankRequest struct {
 	SparseIDs [][]int `json:"sparse_ids"`
 }
 
-// RankResponse is the JSON body returned by POST /rank.
+// RankResponse is the JSON body returned by the rank endpoints.
 type RankResponse struct {
 	CTR []float32 `json:"ctr"`
 }
 
-// Handler returns an http.Handler exposing the server.
-func (s *Server) Handler() http.Handler {
+// Handler returns an http.Handler exposing the engine.
+func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /rank", s.handleRank)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /rank", func(w http.ResponseWriter, r *http.Request) {
+		e.handleRank(w, r, "")
+	})
+	mux.HandleFunc("POST /rank/{model}", func(w http.ResponseWriter, r *http.Request) {
+		e.handleRank(w, r, r.PathValue("model"))
+	})
+	mux.HandleFunc("GET /stats", e.handleStats)
+	mux.HandleFunc("GET /stats/{model}", e.handleModelStats)
+	mux.HandleFunc("GET /models", e.handleModels)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -48,7 +58,16 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+// Handler returns an http.Handler exposing the server's engine (the
+// single registered model answers POST /rank).
+func (s *Server) Handler() http.Handler { return s.eng.Handler() }
+
+func (e *Engine) handleRank(w http.ResponseWriter, r *http.Request, name string) {
+	m, err := e.Model(name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
 	var body RankRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -56,15 +75,19 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	req, err := body.toRequest(s.model.Config)
+	req, err := body.toRequest(m.Config)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	ctr, err := s.Rank(r.Context(), req)
+	ctr, err := e.Rank(r.Context(), name, req)
 	switch {
 	case errors.Is(err, ErrClosed):
 		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrModelNotFound):
+		// Unregistered between resolution and admission.
+		httpError(w, http.StatusNotFound, err)
 		return
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err)
@@ -77,10 +100,9 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	st := s.Stats()
-	json.NewEncoder(w).Encode(map[string]any{
+// statsJSON flattens one Stats snapshot for the JSON endpoints.
+func statsJSON(st Stats) map[string]any {
+	out := map[string]any{
 		"requests":  st.Requests,
 		"samples":   st.Samples,
 		"batches":   st.Batches,
@@ -89,6 +111,44 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"p50_us":    st.P50US,
 		"p95_us":    st.P95US,
 		"p99_us":    st.P99US,
+	}
+	if len(st.BatchHist) > 0 {
+		out["batch_hist"] = st.BatchHist
+	}
+	if len(st.KindUS) > 0 {
+		out["kind_us"] = st.KindUS
+	}
+	return out
+}
+
+// handleStats reports the aggregate engine counters at the top level
+// (the original single-model schema) plus a per-model breakdown.
+func (e *Engine) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	out := statsJSON(e.AggregateStats())
+	models := make(map[string]any)
+	for name, st := range e.Stats() {
+		models[name] = statsJSON(st)
+	}
+	out["models"] = models
+	json.NewEncoder(w).Encode(out)
+}
+
+func (e *Engine) handleModelStats(w http.ResponseWriter, r *http.Request) {
+	st, err := e.ModelStats(r.PathValue("model"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(statsJSON(st))
+}
+
+func (e *Engine) handleModels(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"models":  e.Models(),
+		"default": e.DefaultModel(),
 	})
 }
 

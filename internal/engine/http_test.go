@@ -147,6 +147,109 @@ func TestHTTPStatsAndHealth(t *testing.T) {
 	}
 }
 
+// TestHTTPMultiModel exercises the named-model endpoints: POST
+// /rank/{model}, GET /stats/{model}, GET /models, and 404s for
+// unknown names.
+func TestHTTPMultiModel(t *testing.T) {
+	s, ts := httpServer(t)
+	side, err := model.Build(model.RMC3Small().Scaled(500), stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Engine().Register("ranker", side, ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Named rank against the co-located model (its shape differs from
+	// the default model's, so routing errors would surface as 400s).
+	body := rankBody(t, side.Config, 2)
+	resp, err := http.Post(ts.URL+"/rank/ranker", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /rank/ranker: status %d", resp.StatusCode)
+	}
+	var out RankResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.CTR) != 2 {
+		t.Fatalf("CTR length %d", len(out.CTR))
+	}
+
+	// Per-model stats reflect only that model's traffic.
+	sr, err := http.Get(ts.URL + "/stats/ranker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["requests"].(float64) != 1 || st["samples"].(float64) != 2 {
+		t.Errorf("per-model stats: %v", st)
+	}
+
+	// Aggregate stats carry the per-model breakdown.
+	ar, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ar.Body.Close()
+	var agg map[string]any
+	if err := json.NewDecoder(ar.Body).Decode(&agg); err != nil {
+		t.Fatal(err)
+	}
+	models, ok := agg["models"].(map[string]any)
+	if !ok {
+		t.Fatal("aggregate stats missing per-model breakdown")
+	}
+	if _, ok := models[DefaultModelName]; !ok {
+		t.Errorf("breakdown missing default model: %v", models)
+	}
+	if _, ok := models["ranker"]; !ok {
+		t.Errorf("breakdown missing ranker: %v", models)
+	}
+
+	// Registry listing.
+	mr, err := http.Get(ts.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var ml struct {
+		Models  []string `json:"models"`
+		Default string   `json:"default"`
+	}
+	if err := json.NewDecoder(mr.Body).Decode(&ml); err != nil {
+		t.Fatal(err)
+	}
+	if len(ml.Models) != 2 || ml.Default != DefaultModelName {
+		t.Errorf("GET /models = %+v", ml)
+	}
+
+	// Unknown names 404.
+	rr, err := http.Post(ts.URL+"/rank/ghost", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusNotFound {
+		t.Errorf("POST /rank/ghost: status %d", rr.StatusCode)
+	}
+	gr, err := http.Get(ts.URL + "/stats/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+	if gr.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /stats/ghost: status %d", gr.StatusCode)
+	}
+}
+
 func TestHTTPMethodRouting(t *testing.T) {
 	_, ts := httpServer(t)
 	resp, err := http.Get(ts.URL + "/rank")

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recsys/internal/batch"
+	"recsys/internal/model"
+)
+
+// job is one admitted Rank call waiting for an executor worker.
+type job struct {
+	ctx  context.Context
+	req  model.Request
+	resp chan jobResult
+}
+
+type jobResult struct {
+	ctr []float32
+	err error
+}
+
+// modelQueue is the per-model serving state: the hot-swappable model
+// pointer, a bounded admission queue, the batch-forming policy, and
+// serving counters. Executor workers drain queues; Rank calls feed
+// them.
+type modelQueue struct {
+	name   string
+	weight int          // executor pick weight (≥ 1)
+	policy batch.Policy // batch former bounds
+
+	model atomic.Pointer[model.Model] // swapped atomically by Swap
+
+	// q is the admission queue. A full queue blocks Rank (admission
+	// control / backpressure), exactly like the single-model engine.
+	q chan *job
+	// gone is closed by Unregister so blocked senders and batch
+	// formers stop waiting on a removed model.
+	gone chan struct{}
+	// senders tracks Rank calls between admission and enqueue, so
+	// Unregister and Close can drain the queue without racing a
+	// late send.
+	senders sync.WaitGroup
+
+	counters
+}
+
+func newModelQueue(name string, m *model.Model, weight int, policy batch.Policy, depth int) *modelQueue {
+	mq := &modelQueue{
+		name:   name,
+		weight: weight,
+		policy: policy,
+		q:      make(chan *job, depth),
+		gone:   make(chan struct{}),
+	}
+	mq.model.Store(m)
+	return mq
+}
+
+// tryPop removes one queued job without blocking.
+func (mq *modelQueue) tryPop() (*job, bool) {
+	select {
+	case j := <-mq.q:
+		return j, true
+	default:
+		return nil, false
+	}
+}
+
+// formBatch coalesces queued jobs behind first into one dispatch,
+// bounded by the queue's policy: stop at MaxBatch samples, or when the
+// wait timer fires. Queued jobs are always taken greedily before
+// waiting, so a closing engine still drains promptly. stop is the
+// engine's drain signal; a closed stop (or a removed model) cuts the
+// wait short but never abandons jobs already taken.
+func (mq *modelQueue) formBatch(first *job, buf []*job, stop <-chan struct{}) (jobs []*job, samples int) {
+	jobs = append(buf[:0], first)
+	samples = first.req.Batch
+	if !mq.policy.Enabled() {
+		return jobs, samples
+	}
+	var timer *time.Timer
+	for !mq.policy.Full(samples) {
+		// Greedy: take whatever is already queued.
+		if next, ok := mq.tryPop(); ok {
+			jobs = append(jobs, next)
+			samples += next.req.Batch
+			continue
+		}
+		if timer == nil {
+			timer = time.NewTimer(mq.policy.MaxWait)
+			defer timer.Stop()
+		}
+		select {
+		case next, ok := <-mq.q:
+			if !ok {
+				return jobs, samples
+			}
+			jobs = append(jobs, next)
+			samples += next.req.Batch
+		case <-timer.C:
+			return jobs, samples
+		case <-stop:
+			return jobs, samples
+		case <-mq.gone:
+			return jobs, samples
+		}
+	}
+	return jobs, samples
+}
+
+// failPending drains the admission queue and fails every queued job
+// with err. Callers must guarantee no concurrent senders (gone closed
+// and senders drained).
+func (mq *modelQueue) failPending(err error) {
+	for {
+		j, ok := mq.tryPop()
+		if !ok {
+			return
+		}
+		mq.errs.Add(1)
+		j.resp <- jobResult{err: err}
+	}
+}

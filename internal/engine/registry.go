@@ -1,0 +1,362 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"recsys/internal/batch"
+	"recsys/internal/model"
+)
+
+// ErrModelNotFound is returned (wrapped with the model name) by Rank,
+// Swap, Unregister, and the HTTP front-end for unknown models.
+var ErrModelNotFound = errors.New("engine: model not found")
+
+// ModelOptions configures one registered model.
+type ModelOptions struct {
+	// Policy bounds this model's batch former. A zero Policy inherits
+	// the engine's default (Options.MaxBatch / Options.MaxWait).
+	Policy batch.Policy
+	// Weight biases the executor's fair pick toward this model's queue
+	// (a weight-2 model is offered twice the dispatch slots of a
+	// weight-1 model under contention). 0 means 1.
+	Weight int
+}
+
+// Engine is the multi-model serving core: a registry of named,
+// hot-swappable models, each with its own admission queue and batch
+// former, drained by one shared executor worker pool — the layering
+// DeepRecSys (Gupta et al., 2020) argues for, and the substrate for
+// the paper's heterogeneous co-location scenarios (§VI).
+type Engine struct {
+	opts Options
+
+	mu          sync.Mutex
+	queues      map[string]*modelQueue
+	order       []*modelQueue // registration order; WRR scan set
+	defaultName string        // first registered model; POST /rank target
+	wrrTotal    int
+	wrrCur      map[*modelQueue]int // smooth-WRR state, guarded by mu
+	closed      bool
+
+	wake    chan struct{} // executor wakeup tokens
+	closing chan struct{} // closed first: reject/abort admissions
+	done    chan struct{} // closed after senders drain: workers may exit
+	wg      sync.WaitGroup
+}
+
+// NewEngine starts an engine with no registered models. It returns an
+// error on non-positive worker or queue options.
+func NewEngine(opts Options) (*Engine, error) {
+	if opts.Workers <= 0 || opts.QueueDepth <= 0 {
+		return nil, fmt.Errorf("engine: workers and queue depth must be positive, got %d, %d", opts.Workers, opts.QueueDepth)
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 1
+	}
+	if opts.MaxWait < 0 {
+		return nil, fmt.Errorf("engine: negative MaxWait %v", opts.MaxWait)
+	}
+	opts.IntraOpWorkers = resolveIntraOp(opts)
+	e := &Engine{
+		opts:    opts,
+		queues:  make(map[string]*modelQueue),
+		wrrCur:  make(map[*modelQueue]int),
+		wake:    make(chan struct{}, opts.Workers),
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	e.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go e.worker()
+	}
+	return e, nil
+}
+
+// defaultPolicy is the engine-level batching policy models inherit.
+func (e *Engine) defaultPolicy() batch.Policy {
+	return batch.Policy{MaxBatch: e.opts.MaxBatch, MaxWait: e.opts.MaxWait}
+}
+
+// Register adds a named model. The first registered model becomes the
+// default target of the single-model API (Server.Rank, POST /rank).
+func (e *Engine) Register(name string, m *model.Model, mo ModelOptions) error {
+	if name == "" {
+		return errors.New("engine: empty model name")
+	}
+	if m == nil {
+		return errors.New("engine: nil model")
+	}
+	pol := mo.Policy
+	if pol == (batch.Policy{}) {
+		pol = e.defaultPolicy()
+	}
+	if pol.MaxBatch <= 0 {
+		pol.MaxBatch = 1
+	}
+	if err := pol.Validate(); err != nil {
+		return err
+	}
+	weight := mo.Weight
+	if weight <= 0 {
+		weight = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if _, dup := e.queues[name]; dup {
+		return fmt.Errorf("engine: model %q already registered", name)
+	}
+	mq := newModelQueue(name, m, weight, pol, e.opts.QueueDepth)
+	e.queues[name] = mq
+	e.order = append(e.order, mq)
+	e.wrrTotal += weight
+	e.wrrCur[mq] = 0
+	if e.defaultName == "" {
+		e.defaultName = name
+	}
+	return nil
+}
+
+// Swap replaces a registered model's weights in place: queued and
+// future requests run against next. The new model must accept the same
+// input shape (dense width, table count, per-table lookups), so
+// requests validated against the old config stay well-formed — the
+// checkpoint-reload path of a retrain cycle.
+func (e *Engine) Swap(name string, next *model.Model) error {
+	if next == nil {
+		return errors.New("engine: nil model")
+	}
+	e.mu.Lock()
+	mq, ok := e.queues[name]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	cur := mq.model.Load()
+	if err := compatibleShape(cur.Config, next.Config); err != nil {
+		return err
+	}
+	mq.model.Store(next)
+	return nil
+}
+
+// compatibleShape checks that requests shaped for old remain valid
+// inputs of next.
+func compatibleShape(old, next model.Config) error {
+	if next.DenseIn != old.DenseIn {
+		return fmt.Errorf("engine: swap changes dense width %d → %d", old.DenseIn, next.DenseIn)
+	}
+	if len(next.Tables) != len(old.Tables) {
+		return fmt.Errorf("engine: swap changes table count %d → %d", len(old.Tables), len(next.Tables))
+	}
+	for i := range next.Tables {
+		if next.Tables[i].Lookups != old.Tables[i].Lookups {
+			return fmt.Errorf("engine: swap changes table %d lookups %d → %d", i, old.Tables[i].Lookups, next.Tables[i].Lookups)
+		}
+		if next.Tables[i].Rows < old.Tables[i].Rows {
+			return fmt.Errorf("engine: swap shrinks table %d rows %d → %d", i, old.Tables[i].Rows, next.Tables[i].Rows)
+		}
+	}
+	return nil
+}
+
+// Unregister removes a model: new Rank calls fail, blocked admissions
+// abort, and already-queued requests fail with ErrModelNotFound.
+// Batches already picked up by a worker complete normally.
+func (e *Engine) Unregister(name string) error {
+	e.mu.Lock()
+	mq, ok := e.queues[name]
+	if ok {
+		delete(e.queues, name)
+		for i, q := range e.order {
+			if q == mq {
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				break
+			}
+		}
+		e.wrrTotal -= mq.weight
+		delete(e.wrrCur, mq)
+		if e.defaultName == name {
+			e.defaultName = ""
+			if len(e.order) > 0 {
+				e.defaultName = e.order[0].name
+			}
+		}
+	}
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	close(mq.gone)
+	mq.senders.Wait()
+	mq.failPending(fmt.Errorf("%w: %q", ErrModelNotFound, name))
+	return nil
+}
+
+// Models returns the registered model names in registration order.
+func (e *Engine) Models() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, len(e.order))
+	for i, mq := range e.order {
+		names[i] = mq.name
+	}
+	return names
+}
+
+// Model returns the named model (e.g. to validate request shapes), or
+// the default model when name is empty.
+func (e *Engine) Model(name string) (*model.Model, error) {
+	mq, err := e.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return mq.model.Load(), nil
+}
+
+// DefaultModel returns the name Rank resolves "" to: the oldest
+// registered model still present.
+func (e *Engine) DefaultModel() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.defaultName
+}
+
+func (e *Engine) lookup(name string) (*modelQueue, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if name == "" {
+		name = e.defaultName
+	}
+	mq, ok := e.queues[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	return mq, nil
+}
+
+// Rank scores one batched request against the named model ("" = the
+// default model), blocking until an executor worker completes it or
+// ctx is done.
+func (e *Engine) Rank(ctx context.Context, name string, req model.Request) ([]float32, error) {
+	// Admission: resolve the queue and register as a sender under the
+	// lock, so Close and Unregister wait for the enqueue (or its
+	// abort) before draining.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	lookupName := name
+	if lookupName == "" {
+		lookupName = e.defaultName
+	}
+	mq, ok := e.queues[lookupName]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	mq.senders.Add(1)
+	e.mu.Unlock()
+
+	j := &job{ctx: ctx, req: req, resp: make(chan jobResult, 1)}
+	select {
+	case mq.q <- j:
+		mq.senders.Done()
+		e.kick()
+	case <-ctx.Done():
+		mq.senders.Done()
+		mq.errs.Add(1)
+		return nil, ctx.Err()
+	case <-e.closing:
+		mq.senders.Done()
+		mq.errs.Add(1)
+		return nil, ErrClosed
+	case <-mq.gone:
+		mq.senders.Done()
+		mq.errs.Add(1)
+		return nil, fmt.Errorf("%w: %q", ErrModelNotFound, lookupName)
+	}
+	start := time.Now()
+	select {
+	case r := <-j.resp:
+		if r.err != nil {
+			mq.errs.Add(1)
+			return nil, r.err
+		}
+		mq.requests.Add(1)
+		mq.recordLatency(float64(time.Since(start).Microseconds()))
+		return r.ctr, nil
+	case <-ctx.Done():
+		// The worker may still process the job; its result is dropped.
+		mq.errs.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// ModelStats returns the serving counters of one model.
+func (e *Engine) ModelStats(name string) (Stats, error) {
+	mq, err := e.lookup(name)
+	if err != nil {
+		return Stats{}, err
+	}
+	return mq.snapshot(), nil
+}
+
+// Stats returns a snapshot of every registered model's counters, keyed
+// by model name.
+func (e *Engine) Stats() map[string]Stats {
+	e.mu.Lock()
+	queues := append([]*modelQueue(nil), e.order...)
+	e.mu.Unlock()
+	out := make(map[string]Stats, len(queues))
+	for _, mq := range queues {
+		out[mq.name] = mq.snapshot()
+	}
+	return out
+}
+
+// AggregateStats sums every model's counters and recomputes latency
+// percentiles over the pooled windows — the engine-wide view the
+// single-model /stats endpoint exposes.
+func (e *Engine) AggregateStats() Stats {
+	e.mu.Lock()
+	queues := append([]*modelQueue(nil), e.order...)
+	e.mu.Unlock()
+	var agg Stats
+	var lats []float64
+	for _, mq := range queues {
+		agg.merge(mq.snapshot())
+		lats = mq.appendLatencies(lats)
+	}
+	agg.P50US, agg.P95US, agg.P99US = percentiles(lats)
+	return agg
+}
+
+// Close stops accepting requests, drains every queue, and waits for
+// the executor workers to finish. Rank calls blocked on a full queue
+// abort with ErrClosed. Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.closing)
+	queues := append([]*modelQueue(nil), e.order...)
+	e.mu.Unlock()
+	// Wait for in-flight enqueues to land or abort, then release the
+	// workers to drain the queues and exit.
+	for _, mq := range queues {
+		mq.senders.Wait()
+	}
+	close(e.done)
+	e.wg.Wait()
+}

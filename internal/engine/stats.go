@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recsys/internal/nn"
+	"recsys/internal/stats"
+)
+
+// Stats are cumulative serving counters and latency percentiles for
+// one registered model.
+type Stats struct {
+	Requests int64 // Rank calls completed successfully
+	Samples  int64 // user-item pairs ranked
+	Batches  int64 // forward passes executed
+	Errors   int64 // failed requests (bad input or cancelled)
+	// P50US, P95US, and P99US are end-to-end Rank latency percentiles
+	// in microseconds over a sliding window of recent requests.
+	P50US, P95US, P99US float64
+	// BatchHist counts formed batches by their sample count, so an
+	// anomalous AvgBatch can be traced to its size distribution (e.g.
+	// a bimodal mix of timer flushes and full batches).
+	BatchHist map[int]int64
+	// KindUS is cumulative per-operator-kind execution time in
+	// microseconds, from the instrumented forward pass — the live
+	// analogue of the paper's Figure 7 operator breakdowns.
+	KindUS map[string]float64
+}
+
+// AvgBatch returns the mean samples per forward pass.
+func (s Stats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Samples) / float64(s.Batches)
+}
+
+// merge accumulates other into s (histograms and kind times included),
+// for the engine-wide aggregate view. Latency percentiles cannot be
+// merged from percentiles; the caller recomputes them from the pooled
+// windows.
+func (s *Stats) merge(other Stats) {
+	s.Requests += other.Requests
+	s.Samples += other.Samples
+	s.Batches += other.Batches
+	s.Errors += other.Errors
+	for sz, n := range other.BatchHist {
+		if s.BatchHist == nil {
+			s.BatchHist = make(map[int]int64)
+		}
+		s.BatchHist[sz] += n
+	}
+	for k, us := range other.KindUS {
+		if s.KindUS == nil {
+			s.KindUS = make(map[string]float64)
+		}
+		s.KindUS[k] += us
+	}
+}
+
+// latencyWindow is the number of recent requests the latency
+// percentiles cover.
+const latencyWindow = 4096
+
+// percentiles computes p50/p95/p99 over a pooled latency window.
+func percentiles(lats []float64) (p50, p95, p99 float64) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sample := stats.NewSample(len(lats))
+	sample.AddAll(lats)
+	return sample.Percentile(50), sample.Percentile(95), sample.Percentile(99)
+}
+
+// nKinds sizes the per-operator-kind accumulators.
+const nKinds = int(nn.KindOther) + 1
+
+// counters is the mutable serving-statistics state of one model queue:
+// lock-free counters on the request path, a mutex-guarded latency ring
+// and batch-size histogram off it.
+type counters struct {
+	requests atomic.Int64
+	samples  atomic.Int64
+	batches  atomic.Int64
+	errs     atomic.Int64
+
+	// kindNS accumulates instrumented forward-pass time per operator
+	// kind, in nanoseconds. Executor workers add concurrently.
+	kindNS [nKinds]atomic.Int64
+
+	latMu  sync.Mutex
+	latBuf []float64 // ring of recent request latencies (µs)
+	latPos int
+	latLen int
+
+	histMu sync.Mutex
+	hist   map[int]int64 // formed-batch sample count → occurrences
+}
+
+// OpSpan implements model.SpanObserver: per-operator time lands in the
+// per-kind accumulators. The name is deliberately dropped — per-op
+// detail belongs to internal/profile; serving stats track kinds.
+func (c *counters) OpSpan(_ string, kind nn.Kind, d time.Duration) {
+	c.kindNS[kind].Add(int64(d))
+}
+
+func (c *counters) recordLatency(us float64) {
+	c.latMu.Lock()
+	if c.latBuf == nil {
+		c.latBuf = make([]float64, latencyWindow)
+	}
+	c.latBuf[c.latPos] = us
+	c.latPos = (c.latPos + 1) % latencyWindow
+	if c.latLen < latencyWindow {
+		c.latLen++
+	}
+	c.latMu.Unlock()
+}
+
+func (c *counters) recordBatch(samples int) {
+	c.batches.Add(1)
+	c.samples.Add(int64(samples))
+	c.histMu.Lock()
+	if c.hist == nil {
+		c.hist = make(map[int]int64)
+	}
+	c.hist[samples]++
+	c.histMu.Unlock()
+}
+
+// appendLatencies copies the current latency window into dst, for
+// pooled percentile computation across models.
+func (c *counters) appendLatencies(dst []float64) []float64 {
+	c.latMu.Lock()
+	dst = append(dst, c.latBuf[:c.latLen]...)
+	c.latMu.Unlock()
+	return dst
+}
+
+// snapshot returns a consistent-enough copy of the counters for
+// reporting. Counters are read individually; the totals may straddle
+// an in-flight request, which is fine for monitoring.
+func (c *counters) snapshot() Stats {
+	st := Stats{
+		Requests: c.requests.Load(),
+		Samples:  c.samples.Load(),
+		Batches:  c.batches.Load(),
+		Errors:   c.errs.Load(),
+	}
+	c.latMu.Lock()
+	if c.latLen > 0 {
+		sample := stats.NewSample(c.latLen)
+		sample.AddAll(c.latBuf[:c.latLen])
+		st.P50US = sample.Percentile(50)
+		st.P95US = sample.Percentile(95)
+		st.P99US = sample.Percentile(99)
+	}
+	c.latMu.Unlock()
+	c.histMu.Lock()
+	if len(c.hist) > 0 {
+		st.BatchHist = make(map[int]int64, len(c.hist))
+		for sz, n := range c.hist {
+			st.BatchHist[sz] = n
+		}
+	}
+	c.histMu.Unlock()
+	for k := 0; k < nKinds; k++ {
+		if ns := c.kindNS[k].Load(); ns > 0 {
+			if st.KindUS == nil {
+				st.KindUS = make(map[string]float64, nKinds)
+			}
+			st.KindUS[nn.Kind(k).String()] = float64(ns) / 1e3
+		}
+	}
+	return st
+}

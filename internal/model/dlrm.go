@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"time"
 
 	"recsys/internal/nn"
 	"recsys/internal/stats"
@@ -125,6 +126,16 @@ func (m *Model) Forward(req Request) *tensor.Tensor {
 	return x
 }
 
+// SpanObserver receives one per-operator timing span per executed
+// stage of an instrumented forward pass. Implementations must be safe
+// for the caller's concurrency (the engine shares one observer across
+// its executor workers) and must not allocate if the hot path's
+// zero-allocation contract matters to them.
+type SpanObserver interface {
+	// OpSpan reports that operator name of the given kind ran for d.
+	OpSpan(name string, kind nn.Kind, d time.Duration)
+}
+
 // ForwardEx is the inference hot path: every activation tensor is
 // carved from the arena (when non-nil) so a steady-state pass performs
 // zero heap allocations, FC layers run against packed weights, and the
@@ -136,6 +147,15 @@ func (m *Model) Forward(req Request) *tensor.Tensor {
 // The returned tensor aliases the arena; copy what must outlive the
 // next Reset.
 func (m *Model) ForwardEx(req Request, a *tensor.Arena, workers int) *tensor.Tensor {
+	return m.ForwardSpans(req, a, workers, nil)
+}
+
+// ForwardSpans is ForwardEx with per-operator instrumentation: when
+// obs is non-nil, every stage (bottom MLP, each SLS, concat,
+// interaction, top MLP, sigmoid) emits one span — the live analogue of
+// the paper's Caffe2 operator breakdowns (Figure 7). A nil obs skips
+// all clock reads, so ForwardEx pays nothing for the hooks.
+func (m *Model) ForwardSpans(req Request, a *tensor.Arena, workers int, obs SpanObserver) *tensor.Tensor {
 	if len(req.SparseIDs) != len(m.SLS) {
 		panic(fmt.Sprintf("model: %s expects %d sparse inputs, got %d", m.Config.Name, len(m.SLS), len(req.SparseIDs)))
 	}
@@ -149,24 +169,61 @@ func (m *Model) ForwardEx(req Request, a *tensor.Arena, workers int) *tensor.Ten
 	} else {
 		parts = make([]*tensor.Tensor, n)
 	}
+	var t0 time.Time
 	i := 0
 	if m.Bottom != nil {
 		if req.Dense == nil {
 			panic(fmt.Sprintf("model: %s requires dense features", m.Config.Name))
 		}
+		if obs != nil {
+			t0 = time.Now()
+		}
 		parts[i] = m.Bottom.ForwardEx(req.Dense, a, workers)
+		if obs != nil {
+			obs.OpSpan(m.Bottom.Name(), nn.KindFC, time.Since(t0))
+		}
 		i++
 	}
 	for t, op := range m.SLS {
+		if obs != nil {
+			t0 = time.Now()
+		}
 		parts[i] = op.ForwardEx(req.SparseIDs[t], req.Batch, a, workers)
+		if obs != nil {
+			obs.OpSpan(op.Name(), nn.KindSLS, time.Since(t0))
+		}
 		i++
 	}
+	if obs != nil {
+		t0 = time.Now()
+	}
 	x := m.ConcatOp.ForwardEx(parts, a)
+	if obs != nil {
+		obs.OpSpan(m.ConcatOp.Name(), nn.KindConcat, time.Since(t0))
+	}
 	if m.Interact != nil {
+		if obs != nil {
+			t0 = time.Now()
+		}
 		x = m.Interact.ForwardEx(x, a)
+		if obs != nil {
+			obs.OpSpan(m.Interact.Name(), nn.KindBatchMM, time.Since(t0))
+		}
+	}
+	if obs != nil {
+		t0 = time.Now()
 	}
 	x = m.Top.ForwardEx(x, a, workers)
+	if obs != nil {
+		obs.OpSpan(m.Top.Name(), nn.KindFC, time.Since(t0))
+	}
+	if obs != nil {
+		t0 = time.Now()
+	}
 	nn.SigmoidInPlace(x)
+	if obs != nil {
+		obs.OpSpan("sigmoid", nn.KindActivation, time.Since(t0))
+	}
 	return x
 }
 

@@ -2,7 +2,9 @@ package model
 
 import (
 	"testing"
+	"time"
 
+	"recsys/internal/nn"
 	"recsys/internal/stats"
 	"recsys/internal/tensor"
 )
@@ -75,5 +77,77 @@ func TestAppendCTRMatchesCTR(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("AppendCTR[%d] = %v, want %v", i, got[i], want[i])
 		}
+	}
+}
+
+// spanRecord collects ForwardSpans emissions for inspection.
+type spanRecord struct {
+	names []string
+	kinds []nn.Kind
+	total time.Duration
+}
+
+func (r *spanRecord) OpSpan(name string, kind nn.Kind, d time.Duration) {
+	r.names = append(r.names, name)
+	r.kinds = append(r.kinds, kind)
+	r.total += d
+}
+
+// TestForwardSpansEmitsEveryStage: the instrumented pass reports one
+// span per operator in execution order and stays bit-identical to the
+// uninstrumented hot path.
+func TestForwardSpansEmitsEveryStage(t *testing.T) {
+	for _, cfg := range []Config{
+		RMC1Small().Scaled(50),  // dot interaction
+		RMC2Small().Scaled(200), // cat interaction
+		MLPerfNCF(),             // no dense path
+	} {
+		m, err := Build(cfg, stats.NewRNG(1))
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		req := NewRandomRequest(cfg, 6, stats.NewRNG(2))
+		want := m.Forward(req)
+		var rec spanRecord
+		got := m.ForwardSpans(req, tensor.NewArena(), 2, &rec)
+		if !tensor.Equal(got, want, 0) {
+			t.Errorf("%s: instrumented pass not bit-identical", cfg.Name)
+		}
+		wantSpans := len(cfg.Tables) + 3 // SLS each + concat + top + sigmoid
+		if cfg.DenseIn > 0 {
+			wantSpans++ // bottom MLP
+		}
+		if cfg.Interaction == Dot {
+			wantSpans++ // feature interaction
+		}
+		if len(rec.names) != wantSpans {
+			t.Errorf("%s: %d spans, want %d (%v)", cfg.Name, len(rec.names), wantSpans, rec.names)
+		}
+		if rec.total <= 0 {
+			t.Errorf("%s: zero total span time", cfg.Name)
+		}
+		if last := rec.kinds[len(rec.kinds)-1]; last != nn.KindActivation {
+			t.Errorf("%s: final span kind %v, want activation", cfg.Name, last)
+		}
+	}
+}
+
+// TestForwardSpansNilObserverZeroAllocs: the hooks must not disturb
+// the zero-allocation contract when no observer is attached.
+func TestForwardSpansNilObserverZeroAllocs(t *testing.T) {
+	cfg := RMC1Small().Scaled(50)
+	m, err := Build(cfg, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := NewRandomRequest(cfg, 16, stats.NewRNG(2))
+	arena := tensor.NewArena()
+	m.ForwardSpans(req, arena, 1, nil)
+	allocs := testing.AllocsPerRun(50, func() {
+		arena.Reset()
+		m.ForwardSpans(req, arena, 1, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-observer ForwardSpans allocates %v times per pass, want 0", allocs)
 	}
 }

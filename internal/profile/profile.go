@@ -15,6 +15,10 @@ import (
 	"recsys/internal/tensor"
 )
 
+// Profile implements model.SpanObserver, so it can be handed directly
+// to the instrumented forward pass.
+var _ model.SpanObserver = (*Profile)(nil)
+
 // Span is one timed stage of a forward pass.
 type Span struct {
 	Name     string
@@ -54,38 +58,22 @@ func (p Profile) String() string {
 	return out
 }
 
+// OpSpan records one operator span; it is the model.SpanObserver hook
+// the instrumented forward pass calls per stage.
+func (p *Profile) OpSpan(name string, kind nn.Kind, d time.Duration) {
+	p.Spans = append(p.Spans, Span{Name: name, Kind: kind, Duration: d})
+	p.Total += d
+}
+
 // Forward runs one instrumented forward pass, returning the output and
-// the per-stage timing. The computation is identical to Model.Forward.
+// the per-stage timing. The spans come from the serving hot path itself
+// (Model.ForwardSpans) — the same code the engine executes — so the
+// breakdown measures real serving work, and the computation is
+// bit-identical to Model.Forward.
 func Forward(m *model.Model, req model.Request) (*tensor.Tensor, Profile) {
 	var p Profile
-	span := func(name string, kind nn.Kind, f func()) {
-		start := time.Now()
-		f()
-		d := time.Since(start)
-		p.Spans = append(p.Spans, Span{Name: name, Kind: kind, Duration: d})
-		p.Total += d
-	}
-
-	var parts []*tensor.Tensor
-	if m.Bottom != nil {
-		var out *tensor.Tensor
-		span(m.Bottom.Name(), nn.KindFC, func() { out = m.Bottom.Forward(req.Dense) })
-		parts = append(parts, out)
-	}
-	for i, op := range m.SLS {
-		i, op := i, op
-		var out *tensor.Tensor
-		span(op.Name(), nn.KindSLS, func() { out = op.Forward(req.SparseIDs[i], req.Batch) })
-		parts = append(parts, out)
-	}
-	var x *tensor.Tensor
-	span(m.ConcatOp.Name(), nn.KindConcat, func() { x = m.ConcatOp.Forward(parts) })
-	if m.Interact != nil {
-		span(m.Interact.Name(), nn.KindBatchMM, func() { x = m.Interact.Forward(x) })
-	}
-	span(m.Top.Name(), nn.KindFC, func() { x = m.Top.Forward(x) })
-	span("sigmoid", nn.KindActivation, func() { nn.SigmoidInPlace(x) })
-	return x, p
+	out := m.ForwardSpans(req, nil, 1, &p)
+	return out, p
 }
 
 // Average runs n instrumented passes and returns the profile with

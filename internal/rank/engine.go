@@ -1,0 +1,63 @@
+package rank
+
+import (
+	"context"
+	"fmt"
+
+	"recsys/internal/model"
+)
+
+// Scorer scores a batched request against a named model. It is the
+// slice of the serving engine the cascade needs; *engine.Engine
+// satisfies it, so a filtering and a ranking model co-located in one
+// engine (the paper's §VI scenario) can back the two-stage pipeline of
+// Figure 6 with batching, queueing, and per-model stats for free.
+type Scorer interface {
+	Rank(ctx context.Context, model string, req model.Request) ([]float32, error)
+}
+
+// EnginePipeline is a filtering→ranking cascade whose stages run
+// through a serving engine instead of direct model calls. Because the
+// engine's batched execution is bit-identical to direct execution, an
+// EnginePipeline returns exactly what the equivalent Pipeline returns.
+type EnginePipeline struct {
+	// Scorer executes both stages (typically one *engine.Engine
+	// co-locating both models).
+	Scorer Scorer
+	// FilterModel and RankModel name the two stages in the scorer's
+	// registry.
+	FilterModel string
+	RankModel   string
+	// FilterTo is how many candidates survive filtering.
+	FilterTo int
+	// ServeTo is how many results are returned.
+	ServeTo int
+}
+
+// Validate checks the cascade's structure.
+func (p *EnginePipeline) Validate() error {
+	if p.Scorer == nil {
+		return fmt.Errorf("rank: engine pipeline needs a scorer")
+	}
+	if p.FilterModel == "" || p.RankModel == "" {
+		return fmt.Errorf("rank: engine pipeline needs both stage model names")
+	}
+	if p.ServeTo <= 0 || p.FilterTo < p.ServeTo {
+		return fmt.Errorf("rank: need FilterTo >= ServeTo > 0, got %d, %d", p.FilterTo, p.ServeTo)
+	}
+	return nil
+}
+
+// Run ranks the candidates in filterReq through the engine, with the
+// same contract as Pipeline.Run: buildRankReq converts surviving
+// candidate indices into the ranking model's input, and the returned
+// results carry indices into the original candidate list, best first.
+func (p *EnginePipeline) Run(ctx context.Context, filterReq model.Request, buildRankReq func(survivors []int) (model.Request, error)) ([]Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return runCascade(p.FilterTo, p.ServeTo, filterReq,
+		func(req model.Request) ([]float32, error) { return p.Scorer.Rank(ctx, p.FilterModel, req) },
+		func(req model.Request) ([]float32, error) { return p.Scorer.Rank(ctx, p.RankModel, req) },
+		buildRankReq)
+}

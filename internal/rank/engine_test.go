@@ -1,0 +1,108 @@
+package rank
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"recsys/internal/engine"
+	"recsys/internal/model"
+	"recsys/internal/stats"
+)
+
+// TestEnginePipelineMatchesDirect is the acceptance check for the
+// engine-backed cascade: running the two-stage pipeline through a
+// serving engine (with batching and concurrent workers) must return
+// bit-for-bit the same results as calling the models directly.
+func TestEnginePipelineMatchesDirect(t *testing.T) {
+	filterCfg := model.RMC1Small().Scaled(200)
+	rankCfg := model.RMC3Small().Scaled(200)
+	filter, err := model.Build(filterCfg, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranker, err := model.Build(rankCfg, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := engine.NewEngine(engine.Options{Workers: 2, QueueDepth: 16, MaxBatch: 8, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Register("filter", filter, engine.ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register("ranker", ranker, engine.ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	direct := &Pipeline{Filter: filter, Ranker: ranker, FilterTo: 20, ServeTo: 5}
+	served := &EnginePipeline{
+		Scorer: eng, FilterModel: "filter", RankModel: "ranker",
+		FilterTo: 20, ServeTo: 5,
+	}
+
+	// The two stages use different feature sets, so the rank request is
+	// drawn fresh per survivor set — deterministically from the indices.
+	filterReq := model.NewRandomRequest(filterCfg, 100, stats.NewRNG(5))
+	build := func(survivors []int) (model.Request, error) {
+		rng := stats.NewRNG(uint64(len(survivors)))
+		return model.NewRandomRequest(rankCfg, len(survivors), rng), nil
+	}
+
+	want, err := direct.Run(filterReq, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := served.Run(context.Background(), filterReq, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("result %d: engine %+v, direct %+v", i, got[i], want[i])
+		}
+	}
+
+	// Both stages went through the engine.
+	st := eng.Stats()
+	if st["filter"].Requests != 1 || st["ranker"].Requests != 1 {
+		t.Errorf("stage traffic: %+v", st)
+	}
+	if st["filter"].Samples != 100 || st["ranker"].Samples != 20 {
+		t.Errorf("stage sample counts: filter %d, ranker %d", st["filter"].Samples, st["ranker"].Samples)
+	}
+}
+
+func TestEnginePipelineValidate(t *testing.T) {
+	eng, err := engine.NewEngine(engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	cases := []EnginePipeline{
+		{},
+		{Scorer: eng, FilterModel: "f", RankModel: "", FilterTo: 10, ServeTo: 5},
+		{Scorer: eng, FilterModel: "f", RankModel: "r", FilterTo: 2, ServeTo: 5},
+		{Scorer: eng, FilterModel: "f", RankModel: "r", FilterTo: 10, ServeTo: 0},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should be invalid: %+v", i, p)
+		}
+	}
+	// Unknown stage names surface the engine's not-found error.
+	p := &EnginePipeline{Scorer: eng, FilterModel: "ghost", RankModel: "r", FilterTo: 2, ServeTo: 1}
+	cfg := model.RMC1Small().Scaled(100)
+	req := model.NewRandomRequest(cfg, 10, stats.NewRNG(1))
+	if _, err := p.Run(context.Background(), req, func(s []int) (model.Request, error) {
+		return model.NewRandomRequest(cfg, len(s), stats.NewRNG(2)), nil
+	}); err == nil {
+		t.Error("unknown filter model should error")
+	}
+}

@@ -92,11 +92,27 @@ func (p *Pipeline) Run(filterReq model.Request, buildRankReq func(survivors []in
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if filterReq.Batch < p.FilterTo {
-		return nil, fmt.Errorf("rank: %d candidates, need at least FilterTo=%d", filterReq.Batch, p.FilterTo)
+	return runCascade(p.FilterTo, p.ServeTo, filterReq,
+		func(req model.Request) ([]float32, error) { return p.Filter.CTR(req), nil },
+		func(req model.Request) ([]float32, error) { return p.Ranker.CTR(req), nil },
+		buildRankReq)
+}
+
+// runCascade is the two-stage control flow shared by the direct
+// Pipeline and the engine-backed EnginePipeline: filter-score all
+// candidates, keep the top filterTo, re-score them with the ranking
+// stage, serve the top serveTo (indices into the original list).
+func runCascade(filterTo, serveTo int, filterReq model.Request,
+	scoreFilter, scoreRank func(model.Request) ([]float32, error),
+	buildRankReq func(survivors []int) (model.Request, error)) ([]Result, error) {
+	if filterReq.Batch < filterTo {
+		return nil, fmt.Errorf("rank: %d candidates, need at least FilterTo=%d", filterReq.Batch, filterTo)
 	}
-	filterScores := p.Filter.CTR(filterReq)
-	survivors := TopK(filterScores, p.FilterTo)
+	filterScores, err := scoreFilter(filterReq)
+	if err != nil {
+		return nil, fmt.Errorf("rank: filtering stage: %w", err)
+	}
+	survivors := TopK(filterScores, filterTo)
 	idx := make([]int, len(survivors))
 	for i, s := range survivors {
 		idx[i] = s.Index
@@ -106,11 +122,14 @@ func (p *Pipeline) Run(filterReq model.Request, buildRankReq func(survivors []in
 	if err != nil {
 		return nil, fmt.Errorf("rank: building ranking request: %w", err)
 	}
-	if rankReq.Batch != p.FilterTo {
-		return nil, fmt.Errorf("rank: ranking request batch %d, want %d", rankReq.Batch, p.FilterTo)
+	if rankReq.Batch != filterTo {
+		return nil, fmt.Errorf("rank: ranking request batch %d, want %d", rankReq.Batch, filterTo)
 	}
-	rankScores := p.Ranker.CTR(rankReq)
-	final := TopK(rankScores, p.ServeTo)
+	rankScores, err := scoreRank(rankReq)
+	if err != nil {
+		return nil, fmt.Errorf("rank: ranking stage: %w", err)
+	}
+	final := TopK(rankScores, serveTo)
 	out := make([]Result, len(final))
 	for i, f := range final {
 		out[i] = Result{Index: idx[f.Index], Score: f.Score}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"recsys/internal/arch"
+	"recsys/internal/batch"
 	"recsys/internal/capacity"
 	"recsys/internal/dist"
 	"recsys/internal/embcache"
@@ -175,22 +177,20 @@ func ExtBatching(seed uint64) []ExtBatchingRow {
 			Model: model.RMC3Small(), Machine: arch.Skylake(),
 			Workers: 4, QPS: 15_000, Requests: 10_000, SLAUS: 50_000, Seed: seed,
 		},
-		MaxBatch: 1, MaxWaitUS: 0,
+		Policy: batch.Policy{MaxBatch: 1},
 	}
 	var out []ExtBatchingRow
 	for _, pol := range []struct {
-		name     string
-		maxBatch int
-		waitUS   float64
+		name   string
+		policy batch.Policy
 	}{
-		{"unit batches", 1, 0},
-		{"batch<=16, wait 500µs", 16, 500},
-		{"batch<=64, wait 2ms", 64, 2000},
-		{"batch<=256, wait 8ms", 256, 8000},
+		{"unit batches", batch.Policy{MaxBatch: 1}},
+		{"batch<=16, wait 500µs", batch.Policy{MaxBatch: 16, MaxWait: 500 * time.Microsecond}},
+		{"batch<=64, wait 2ms", batch.Policy{MaxBatch: 64, MaxWait: 2 * time.Millisecond}},
+		{"batch<=256, wait 8ms", batch.Policy{MaxBatch: 256, MaxWait: 8 * time.Millisecond}},
 	} {
 		bc := base
-		bc.MaxBatch = pol.maxBatch
-		bc.MaxWaitUS = pol.waitUS
+		bc.Policy = pol.policy
 		res := server.SimulateBatched(bc)
 		out = append(out, ExtBatchingRow{
 			Policy:     pol.name,

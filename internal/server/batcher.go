@@ -4,22 +4,24 @@ import (
 	"fmt"
 	"math"
 
+	"recsys/internal/batch"
 	"recsys/internal/perf"
 	"recsys/internal/stats"
 	"recsys/internal/trace"
 )
 
 // BatcherConfig configures a dynamically batching serving tier:
-// single-item queries are coalesced into batches of up to MaxBatch, or
-// dispatched early once the oldest query has waited MaxWaitUS. This is
-// how production systems convert request streams into the large batches
-// that make AVX-512 and co-location pay off (§III, §V).
+// single-item queries are coalesced into batches of up to
+// Policy.MaxBatch, or dispatched early once the oldest query has waited
+// Policy.MaxWait. This is how production systems convert request
+// streams into the large batches that make AVX-512 and co-location pay
+// off (§III, §V). The same batch.Policy type drives the real engine's
+// batch formers, so simulated and measured dispatch decisions share one
+// definition.
 type BatcherConfig struct {
 	SimConfig
-	// MaxBatch is the largest coalesced batch.
-	MaxBatch int
-	// MaxWaitUS bounds the queueing delay spent forming a batch.
-	MaxWaitUS float64
+	// Policy is the dispatch policy (batch cap and wait bound).
+	Policy batch.Policy
 }
 
 // SimulateBatched runs the serving simulation with dynamic batching.
@@ -29,16 +31,27 @@ func SimulateBatched(bc BatcherConfig) Result {
 	if bc.Workers <= 0 || bc.Requests <= 0 || bc.QPS <= 0 {
 		panic(fmt.Sprintf("server: invalid batcher config %+v", bc))
 	}
-	if bc.MaxBatch <= 0 || bc.MaxWaitUS < 0 {
-		panic(fmt.Sprintf("server: invalid batching policy maxBatch=%d maxWait=%v", bc.MaxBatch, bc.MaxWaitUS))
+	if err := bc.Policy.Validate(); err != nil {
+		panic(fmt.Sprintf("server: %v", err))
 	}
 	rng := stats.NewRNG(bc.Seed)
 	gen := trace.NewLoadGenerator(bc.QPS, 1, rng.Split())
+	events := gen.Take(bc.Requests)
+	arrivals := make([]float64, len(events))
+	for i, ev := range events {
+		arrivals[i] = ev.TimeUS
+	}
+	return runBatched(bc, arrivals, rng)
+}
+
+// runBatched is the simulation core over an explicit arrival-time
+// stream (non-decreasing, in µs), so dispatch edge cases — simultaneous
+// arrivals, deadline ties, final flushes — can be driven directly.
+func runBatched(bc BatcherConfig, arrivalsUS []float64, rng *stats.RNG) Result {
 	noise := newNoise(bc.Machine, bc.Workers, rng.Split())
-	arrivals := gen.Take(bc.Requests)
 
 	// Memoize per-batch-size service latency.
-	baseLat := make(map[int]float64, bc.MaxBatch)
+	baseLat := make(map[int]float64, bc.Policy.MaxBatch)
 	serviceUS := func(batch int) float64 {
 		if v, ok := baseLat[batch]; ok {
 			return v
@@ -54,22 +67,11 @@ func SimulateBatched(bc BatcherConfig) Result {
 	}
 
 	workerFree := make([]float64, bc.Workers)
-	res := Result{Latencies: stats.NewSample(bc.Requests)}
+	res := Result{Latencies: stats.NewSample(len(arrivalsUS))}
 	var lastDone float64
 
-	for i := 0; i < len(arrivals); {
-		first := arrivals[i].TimeUS
-		deadline := first + bc.MaxWaitUS
-		j := i + 1
-		for j < len(arrivals) && j-i < bc.MaxBatch && arrivals[j].TimeUS <= deadline {
-			j++
-		}
-		// Dispatch when the batch fills, the wait timer fires, or the
-		// stream ends (final flush).
-		ready := arrivals[j-1].TimeUS
-		if j-i < bc.MaxBatch && j < len(arrivals) {
-			ready = deadline
-		}
+	for i := 0; i < len(arrivalsUS); {
+		j, ready := bc.Policy.CutUS(arrivalsUS, i)
 
 		w := 0
 		for k := 1; k < bc.Workers; k++ {
@@ -81,7 +83,7 @@ func SimulateBatched(bc BatcherConfig) Result {
 		done := start + serviceUS(j-i)*noise.factor()
 		workerFree[w] = done
 		for k := i; k < j; k++ {
-			lat := done - arrivals[k].TimeUS
+			lat := done - arrivalsUS[k]
 			res.Latencies.Add(lat)
 			res.Completed++
 			if bc.SLAUS > 0 && lat > bc.SLAUS {

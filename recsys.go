@@ -29,6 +29,7 @@ package recsys
 
 import (
 	"recsys/internal/arch"
+	"recsys/internal/batch"
 	"recsys/internal/capacity"
 	"recsys/internal/dataset"
 	"recsys/internal/dist"
@@ -212,23 +213,33 @@ var (
 type (
 	// ServeOptions configures the concurrent inference server.
 	ServeOptions = engine.Options
-	// ServeServer is a goroutine worker pool with cross-request
-	// batching.
+	// ServeServer is the single-model wrapper around a serving engine.
 	ServeServer = engine.Server
-	// ServeStats are cumulative serving counters.
+	// ServeEngine is the multi-model serving core: model registry,
+	// per-model batch formers, shared executor pool.
+	ServeEngine = engine.Engine
+	// ServeModelOptions configures one registered model (batching
+	// policy, scheduling weight).
+	ServeModelOptions = engine.ModelOptions
+	// ServeStats are cumulative per-model serving counters.
 	ServeStats = engine.Stats
 )
 
 // Serving entry points.
 var (
-	// NewServer starts a concurrent inference server for a model.
+	// NewServer starts a single-model concurrent inference server.
 	NewServer = engine.New
+	// NewServeEngine starts an empty multi-model serving engine.
+	NewServeEngine = engine.NewEngine
 	// DefaultServeOptions returns a 4-worker batching configuration.
 	DefaultServeOptions = engine.DefaultOptions
 )
 
 // ErrServerClosed is returned by ServeServer.Rank after Close.
 var ErrServerClosed = engine.ErrClosed
+
+// ErrModelNotFound is returned for requests naming an unknown model.
+var ErrModelNotFound = engine.ErrModelNotFound
 
 // Embedding caching (tiered-memory serving).
 type (
@@ -267,7 +278,12 @@ var (
 )
 
 // Dynamic batching.
-type BatcherConfig = server.BatcherConfig
+type (
+	BatcherConfig = server.BatcherConfig
+	// BatchPolicy is the dispatch policy (batch cap, wait bound) shared
+	// by the simulator and the real engine's batch formers.
+	BatchPolicy = batch.Policy
+)
 
 // SimulateBatched runs the serving simulation with dynamic batching.
 var SimulateBatched = server.SimulateBatched
@@ -313,6 +329,8 @@ var (
 type (
 	// Pipeline is a filtering→ranking cascade.
 	Pipeline = rank.Pipeline
+	// EnginePipeline is the cascade running through a serving engine.
+	EnginePipeline = rank.EnginePipeline
 	// RankResult is one served candidate.
 	RankResult = rank.Result
 )
