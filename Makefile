@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-hot
+.PHONY: build test vet race lint verify bench bench-hot
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,24 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. staticcheck is not vendored; run it when
+# installed (CI installs it), skip with a notice otherwise so verify
+# works on a network-less box.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # The hot-path packages carry the bit-identity and zero-alloc
-# contracts; run them under the race detector too.
+# contracts; run them under the race detector too (nn holds the
+# ShardGroup-based ParallelSLS fan-out).
 race:
-	$(GO) test -race ./internal/engine ./internal/tensor
+	$(GO) test -race ./internal/engine ./internal/tensor ./internal/nn
 
 # Tier-1 verify recipe (see ROADMAP.md).
-verify: build test vet race
+verify: build test lint race
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1s .

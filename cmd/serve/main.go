@@ -14,6 +14,10 @@
 // Endpoints: POST /rank, POST /rank/{model}, GET /stats,
 // GET /stats/{model}, GET /models, GET /healthz.
 //
+// -timeout sets a per-request deadline: the engine bounds its
+// batch-forming waits by it and sheds expired requests before running
+// them (HTTP 408; counted in GET /stats/{model} as "sheds").
+//
 // On SIGINT/SIGTERM, serve stops accepting connections, waits up to
 // -drain for in-flight requests, then drains the engine and exits.
 package main
@@ -56,6 +60,7 @@ func main() {
 		intraOp    = flag.Int("intra-op", 0, "goroutines per forward pass (0 = GOMAXPROCS/workers)")
 		maxBatch   = flag.Int("max-batch", 32, "cross-request batch limit (samples)")
 		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "batch formation wait bound")
+		timeout    = flag.Duration("timeout", 0, "per-request deadline; expired requests are shed, not executed (0 = none)")
 		drain      = flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
 		seed       = flag.Uint64("seed", 1, "weight seed for presets")
 	)
@@ -80,7 +85,20 @@ func main() {
 	log.Printf("serving %s on %s (%d workers, batch<=%d, wait<=%v)",
 		strings.Join(eng.Models(), ", "), *addr, *workers, *maxBatch, *maxWait)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: eng.Handler()}
+	handler := eng.Handler()
+	if *timeout > 0 {
+		// Per-request SLA: the deadline rides the request context into
+		// the engine, which bounds batch-forming waits by it and sheds
+		// (rather than executes) work that can no longer meet it.
+		inner := handler
+		d := *timeout
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			inner.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 

@@ -70,6 +70,18 @@ func resolveIntraOp(opts Options) int {
 // ErrClosed is returned by Rank after Close.
 var ErrClosed = errors.New("engine: server closed")
 
+// ErrBadRequest marks requests refused by admission-time validation
+// (shape or sparse-ID range mismatch against the registered model's
+// config). It aliases model.ErrBadRequest so either package's sentinel
+// works with errors.Is; the HTTP front-end maps the family to 400.
+var ErrBadRequest = model.ErrBadRequest
+
+// ErrInference wraps a forward-pass panic recovered by an executor
+// worker — an internal fault (HTTP 500), distinct from the client's
+// ErrBadRequest: admission validation should have caught anything the
+// request itself could cause.
+var ErrInference = errors.New("engine: inference failed")
+
 // DefaultModelName is the registry entry the single-model Server uses.
 const DefaultModelName = "default"
 

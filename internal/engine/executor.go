@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"errors"
 	"fmt"
 
 	"recsys/internal/model"
@@ -126,20 +125,31 @@ func (e *Engine) worker() {
 	}
 }
 
-// dispatch forms a batch behind first and processes it.
+// dispatch forms batches behind first and processes them. A job the
+// batch former popped but could not admit without overshooting the
+// sample cap (carry) seeds the next batch, so no popped job is ever
+// lost and Policy.MaxBatch is a hard bound. An expired first is shed
+// at pop time — before any batch-forming wait or forward pass.
 func (e *Engine) dispatch(mq *modelQueue, first *job, scratch *workerScratch) {
-	jobs, samples := mq.formBatch(first, scratch.batch, e.done)
-	scratch.batch = jobs[:0]
-	e.process(mq, jobs, samples, scratch)
+	for first != nil {
+		if first.expired() {
+			mq.shed(first)
+			return
+		}
+		jobs, samples, carry := mq.formBatch(first, scratch.batch, e.done)
+		scratch.batch = jobs[:0]
+		e.process(mq, jobs, samples, scratch)
+		first = carry
+	}
 }
 
 // process runs one coalesced forward pass and distributes the results.
 func (e *Engine) process(mq *modelQueue, jobs []*job, samples int, scratch *workerScratch) {
-	// Drop requests whose context is already done.
+	// Shed requests whose context expired between pop and processing.
 	live := jobs[:0]
 	for _, j := range jobs {
-		if err := j.ctx.Err(); err != nil {
-			j.resp <- jobResult{err: err}
+		if j.expired() {
+			mq.shed(j)
 			continue
 		}
 		live = append(live, j)
@@ -173,15 +183,18 @@ func (e *Engine) process(mq *modelQueue, jobs []*job, samples int, scratch *work
 }
 
 // forward runs the instrumented model forward pass on the arena-backed
-// hot path, converting panics from malformed requests into errors. The
-// returned CTR slice is freshly allocated (it escapes to the caller's
-// response channel); every intermediate activation lives in the
-// worker's arena, which is recycled per call. Per-operator spans land
-// in the queue's kind accumulators.
+// hot path, converting panics into ErrInference-wrapped errors. The
+// recover is airtight against intra-op parallelism because every
+// kernel fan-out goes through tensor.ParallelFor / tensor.ShardGroup,
+// which re-raise shard panics on this goroutine. The returned CTR
+// slice is freshly allocated (it escapes to the caller's response
+// channel); every intermediate activation lives in the worker's arena,
+// which is recycled per call. Per-operator spans land in the queue's
+// kind accumulators.
 func (e *Engine) forward(mq *modelQueue, m *model.Model, req model.Request, scratch *workerScratch) (ctr []float32, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("engine: inference failed: %v", r)
+			err = fmt.Errorf("%w: %v", ErrInference, r)
 		}
 	}()
 	scratch.arena.Reset()
@@ -193,31 +206,22 @@ func (e *Engine) forward(mq *modelQueue, m *model.Model, req model.Request, scra
 
 // merge concatenates requests into one, reusing the worker's dense and
 // per-table ID buffers so steady-state coalescing does not allocate.
-// All requests must match the model's input shapes; mismatches return
-// an error. The returned request aliases scratch and is valid until
-// the next merge on the same worker.
+// Every job — including a lone one, which previously bypassed all
+// checks — is shape-validated against the model config before any
+// buffer copy indexes by those shapes: admission validation makes this
+// redundant for requests that came through Rank, but the executor does
+// not assume its queue is clean. The returned request aliases scratch
+// and is valid until the next merge on the same worker.
 func merge(cfg model.Config, jobs []*job, scratch *workerScratch) (model.Request, error) {
-	if len(jobs) == 1 {
-		return jobs[0].req, nil
-	}
 	total := 0
 	for _, j := range jobs {
-		r := j.req
-		if r.Batch <= 0 {
-			return model.Request{}, fmt.Errorf("engine: non-positive batch %d", r.Batch)
+		if err := model.ValidateShape(cfg, j.req); err != nil {
+			return model.Request{}, err
 		}
-		if cfg.DenseIn > 0 && (r.Dense == nil || r.Dense.Dim(0) != r.Batch || r.Dense.Dim(1) != cfg.DenseIn) {
-			return model.Request{}, errors.New("engine: dense shape mismatch")
-		}
-		if len(r.SparseIDs) != len(cfg.Tables) {
-			return model.Request{}, errors.New("engine: sparse input count mismatch")
-		}
-		for ti, ids := range r.SparseIDs {
-			if len(ids) != r.Batch*cfg.Tables[ti].Lookups {
-				return model.Request{}, errors.New("engine: sparse ID count mismatch")
-			}
-		}
-		total += r.Batch
+		total += j.req.Batch
+	}
+	if len(jobs) == 1 {
+		return jobs[0].req, nil
 	}
 	out := model.Request{Batch: total}
 	if cfg.DenseIn > 0 {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -81,16 +82,8 @@ func (e *Engine) handleRank(w http.ResponseWriter, r *http.Request, name string)
 		return
 	}
 	ctr, err := e.Rank(r.Context(), name, req)
-	switch {
-	case errors.Is(err, ErrClosed):
-		httpError(w, http.StatusServiceUnavailable, err)
-		return
-	case errors.Is(err, ErrModelNotFound):
-		// Unregistered between resolution and admission.
-		httpError(w, http.StatusNotFound, err)
-		return
-	case err != nil:
-		httpError(w, http.StatusBadRequest, err)
+	if err != nil {
+		httpError(w, rankStatus(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -107,6 +100,8 @@ func statsJSON(st Stats) map[string]any {
 		"samples":   st.Samples,
 		"batches":   st.Batches,
 		"errors":    st.Errors,
+		"rejected":  st.Rejected,
+		"sheds":     st.Sheds,
 		"avg_batch": st.AvgBatch(),
 		"p50_us":    st.P50US,
 		"p95_us":    st.P95US,
@@ -152,6 +147,32 @@ func (e *Engine) handleModels(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// rankStatus maps the engine's error taxonomy to HTTP status codes
+// (the table in README.md):
+//
+//	ErrBadRequest           → 400 client sent a malformed request
+//	context deadline/cancel → 408 request shed or abandoned in time
+//	ErrModelNotFound        → 404 unknown model (or unregistered mid-flight)
+//	ErrClosed               → 503 engine shutting down
+//	ErrInference, others    → 500 internal fault (recovered panic)
+func rankStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The request's deadline lapsed (shed before dispatch, or
+		// overran mid-queue) or the client went away.
+		return http.StatusRequestTimeout
+	case errors.Is(err, ErrModelNotFound):
+		// Unregistered between resolution and admission.
+		return http.StatusNotFound
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -191,17 +212,12 @@ func (rr RankRequest) toRequest(cfg model.Config) (model.Request, error) {
 			copy(req.Dense.Row(i), row)
 		}
 	}
-	for ti, ids := range rr.SparseIDs {
-		want := batch * cfg.Tables[ti].Lookups
-		if len(ids) != want {
-			return model.Request{}, fmt.Errorf("engine: table %d has %d IDs, want %d", ti, len(ids), want)
-		}
-		for _, id := range ids {
-			if id < 0 || id >= cfg.Tables[ti].Rows {
-				return model.Request{}, fmt.Errorf("engine: table %d ID %d out of range [0,%d)", ti, id, cfg.Tables[ti].Rows)
-			}
-		}
-		req.SparseIDs = append(req.SparseIDs, ids)
+	req.SparseIDs = rr.SparseIDs
+	// Shared admission check (ID counts and ranges): the same
+	// ErrBadRequest family the engine's Rank enforces, applied before
+	// the request is even admitted.
+	if err := model.ValidateRequest(cfg, req); err != nil {
+		return model.Request{}, err
 	}
 	return req, nil
 }

@@ -15,7 +15,15 @@ type job struct {
 	ctx  context.Context
 	req  model.Request
 	resp chan jobResult
+	// deadline caches ctx's deadline at admission (zero when the
+	// context has none), so the batch former can bound its wait without
+	// re-querying the context interface per pop.
+	deadline time.Time
 }
+
+// expired reports whether the job's context is already done — the job
+// can no longer be answered in time and must be shed, not executed.
+func (j *job) expired() bool { return j.ctx.Err() != nil }
 
 type jobResult struct {
 	ctr []float32
@@ -35,6 +43,10 @@ type modelQueue struct {
 
 	// q is the admission queue. A full queue blocks Rank (admission
 	// control / backpressure), exactly like the single-model engine.
+	// q is never closed: Unregister and Close stop senders via gone /
+	// closing, wait out mq.senders, then drain the channel with
+	// failPending — so receivers never observe a closed q, and the
+	// batch former's receive needs no ok check.
 	q chan *job
 	// gone is closed by Unregister so blocked senders and batch
 	// formers stop waiting on a removed model.
@@ -70,45 +82,84 @@ func (mq *modelQueue) tryPop() (*job, bool) {
 }
 
 // formBatch coalesces queued jobs behind first into one dispatch,
-// bounded by the queue's policy: stop at MaxBatch samples, or when the
-// wait timer fires. Queued jobs are always taken greedily before
-// waiting, so a closing engine still drains promptly. stop is the
-// engine's drain signal; a closed stop (or a removed model) cuts the
-// wait short but never abandons jobs already taken.
-func (mq *modelQueue) formBatch(first *job, buf []*job, stop <-chan struct{}) (jobs []*job, samples int) {
+// bounded by the queue's policy: stop strictly at MaxBatch samples, or
+// when the wait timer fires. Queued jobs are always taken greedily
+// before waiting, so a closing engine still drains promptly. stop is
+// the engine's drain signal; a closed stop (or a removed model) cuts
+// the wait short but never abandons jobs already taken.
+//
+// Robustness properties of the request lifecycle:
+//
+//   - Deadline-aware waiting: the wait never extends past first's
+//     deadline — holding a batch open beyond the oldest job's deadline
+//     would turn the whole dispatch into shed work.
+//   - Pop-time shedding: jobs whose context is already done are failed
+//     here, before they can consume a forward pass.
+//   - Hard sample cap: a popped job that would push the batch past
+//     MaxBatch is returned as carry for the worker to seed the next
+//     batch with, so Policy.MaxBatch bounds every dispatch. (A single
+//     request larger than MaxBatch still dispatches alone — requests
+//     are never split.)
+func (mq *modelQueue) formBatch(first *job, buf []*job, stop <-chan struct{}) (jobs []*job, samples int, carry *job) {
 	jobs = append(buf[:0], first)
 	samples = first.req.Batch
-	if !mq.policy.Enabled() {
-		return jobs, samples
+	if !mq.policy.Enabled() || mq.policy.Full(samples) {
+		return jobs, samples, nil
+	}
+	wait := mq.policy.MaxWait
+	if !first.deadline.IsZero() {
+		rem := time.Until(first.deadline)
+		if rem <= 0 {
+			// Already due: dispatch what we have immediately.
+			return jobs, samples, nil
+		}
+		if rem < wait {
+			wait = rem
+		}
 	}
 	var timer *time.Timer
-	for !mq.policy.Full(samples) {
-		// Greedy: take whatever is already queued.
-		if next, ok := mq.tryPop(); ok {
-			jobs = append(jobs, next)
-			samples += next.req.Batch
+	for {
+		// Greedy: take whatever is already queued before waiting.
+		next, ok := mq.tryPop()
+		if !ok {
+			if timer == nil {
+				timer = time.NewTimer(wait)
+				defer timer.Stop()
+			}
+			select {
+			case next = <-mq.q: // q is never closed; see the field comment
+			case <-timer.C:
+				return jobs, samples, nil
+			case <-stop:
+				return jobs, samples, nil
+			case <-mq.gone:
+				return jobs, samples, nil
+			}
+		}
+		if next.expired() {
+			mq.shed(next)
 			continue
 		}
-		if timer == nil {
-			timer = time.NewTimer(mq.policy.MaxWait)
-			defer timer.Stop()
+		if samples+next.req.Batch > mq.policy.MaxBatch {
+			return jobs, samples, next
 		}
-		select {
-		case next, ok := <-mq.q:
-			if !ok {
-				return jobs, samples
-			}
-			jobs = append(jobs, next)
-			samples += next.req.Batch
-		case <-timer.C:
-			return jobs, samples
-		case <-stop:
-			return jobs, samples
-		case <-mq.gone:
-			return jobs, samples
+		jobs = append(jobs, next)
+		samples += next.req.Batch
+		if mq.policy.Full(samples) {
+			return jobs, samples, nil
 		}
 	}
-	return jobs, samples
+}
+
+// shed fails a job whose context is already done without running it —
+// the deadline-aware load shedding DeepRecSys prescribes: work that
+// cannot meet its latency target is dropped at pop time, not after a
+// wasted forward pass. The response send never blocks (resp is
+// buffered, and the Rank caller has usually already returned on its
+// own ctx.Done).
+func (mq *modelQueue) shed(j *job) {
+	mq.sheds.Add(1)
+	j.resp <- jobResult{err: j.ctx.Err()}
 }
 
 // failPending drains the admission queue and fails every queued job

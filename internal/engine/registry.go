@@ -265,7 +265,29 @@ func (e *Engine) Rank(ctx context.Context, name string, req model.Request) ([]fl
 	mq.senders.Add(1)
 	e.mu.Unlock()
 
-	j := &job{ctx: ctx, req: req, resp: make(chan jobResult, 1)}
+	// Deadline-aware shedding starts at admission: a request whose
+	// context is already done is dropped before it can occupy queue
+	// space or a batch-forming wait.
+	if err := ctx.Err(); err != nil {
+		mq.senders.Done()
+		mq.sheds.Add(1)
+		mq.errs.Add(1)
+		return nil, err
+	}
+	// Admission-time validation: malformed requests are refused here
+	// with a typed ErrBadRequest instead of panicking a shared executor
+	// worker deep inside a kernel. Swap preserves input shapes, so a
+	// request validated against the current model stays valid for any
+	// later swap-in.
+	if err := model.ValidateRequest(mq.model.Load().Config, req); err != nil {
+		mq.senders.Done()
+		mq.rejected.Add(1)
+		mq.errs.Add(1)
+		return nil, err
+	}
+
+	deadline, _ := ctx.Deadline()
+	j := &job{ctx: ctx, req: req, resp: make(chan jobResult, 1), deadline: deadline}
 	select {
 	case mq.q <- j:
 		mq.senders.Done()

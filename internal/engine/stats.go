@@ -15,7 +15,14 @@ type Stats struct {
 	Requests int64 // Rank calls completed successfully
 	Samples  int64 // user-item pairs ranked
 	Batches  int64 // forward passes executed
-	Errors   int64 // failed requests (bad input or cancelled)
+	Errors   int64 // failed requests (bad input, shed, or cancelled)
+	// Rejected counts requests refused by admission-time validation
+	// (ErrBadRequest family). A subset of Errors.
+	Rejected int64
+	// Sheds counts deadline sheds: jobs dropped without a forward pass
+	// because their context was already done — at admission, at queue
+	// pop, or just before processing.
+	Sheds int64
 	// P50US, P95US, and P99US are end-to-end Rank latency percentiles
 	// in microseconds over a sliding window of recent requests.
 	P50US, P95US, P99US float64
@@ -46,6 +53,8 @@ func (s *Stats) merge(other Stats) {
 	s.Samples += other.Samples
 	s.Batches += other.Batches
 	s.Errors += other.Errors
+	s.Rejected += other.Rejected
+	s.Sheds += other.Sheds
 	for sz, n := range other.BatchHist {
 		if s.BatchHist == nil {
 			s.BatchHist = make(map[int]int64)
@@ -85,6 +94,8 @@ type counters struct {
 	samples  atomic.Int64
 	batches  atomic.Int64
 	errs     atomic.Int64
+	rejected atomic.Int64 // admission-validation refusals
+	sheds    atomic.Int64 // deadline sheds (no forward pass run)
 
 	// kindNS accumulates instrumented forward-pass time per operator
 	// kind, in nanoseconds. Executor workers add concurrently.
@@ -148,6 +159,8 @@ func (c *counters) snapshot() Stats {
 		Samples:  c.samples.Load(),
 		Batches:  c.batches.Load(),
 		Errors:   c.errs.Load(),
+		Rejected: c.rejected.Load(),
+		Sheds:    c.sheds.Load(),
 	}
 	c.latMu.Lock()
 	if c.latLen > 0 {

@@ -1,0 +1,112 @@
+package model
+
+import (
+	"errors"
+	"testing"
+
+	"recsys/internal/stats"
+	"recsys/internal/tensor"
+)
+
+// validateConfig is a small two-table model with a dense path, enough
+// to hit every validation clause.
+func validateConfig() Config {
+	return Config{
+		Name:    "validate-test",
+		DenseIn: 4,
+		Tables: []TableSpec{
+			{Rows: 100, Dim: 8, Lookups: 2},
+			{Rows: 50, Dim: 8, Lookups: 1},
+		},
+	}
+}
+
+// goodRequest returns a request that passes ValidateRequest against
+// validateConfig.
+func goodRequest() Request {
+	return Request{
+		Batch: 3,
+		Dense: tensor.New(3, 4),
+		SparseIDs: [][]int{
+			{0, 99, 1, 98, 2, 97}, // 3 samples × 2 lookups, all in [0,100)
+			{0, 25, 49},           // 3 samples × 1 lookup, all in [0,50)
+		},
+	}
+}
+
+func TestValidateRequest(t *testing.T) {
+	cfg := validateConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Request)
+		ok     bool
+	}{
+		{"valid", func(*Request) {}, true},
+		{"zero batch", func(r *Request) { r.Batch = 0 }, false},
+		{"negative batch", func(r *Request) { r.Batch = -1 }, false},
+		{"nil dense", func(r *Request) { r.Dense = nil }, false},
+		{"dense batch mismatch", func(r *Request) { r.Dense = tensor.New(2, 4) }, false},
+		{"dense width mismatch", func(r *Request) { r.Dense = tensor.New(3, 5) }, false},
+		{"dense rank mismatch", func(r *Request) { r.Dense = tensor.New(3, 4, 1) }, false},
+		{"missing table", func(r *Request) { r.SparseIDs = r.SparseIDs[:1] }, false},
+		{"extra table", func(r *Request) { r.SparseIDs = append(r.SparseIDs, []int{0, 1, 2}) }, false},
+		{"short ID list", func(r *Request) { r.SparseIDs[0] = r.SparseIDs[0][:5] }, false},
+		{"long ID list", func(r *Request) { r.SparseIDs[1] = append(r.SparseIDs[1], 0) }, false},
+		{"ID at row count", func(r *Request) { r.SparseIDs[0][3] = 100 }, false},
+		{"ID past row count", func(r *Request) { r.SparseIDs[1][2] = 50 }, false},
+		{"negative ID", func(r *Request) { r.SparseIDs[0][0] = -1 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := goodRequest()
+			tc.mutate(&req)
+			err := ValidateRequest(cfg, req)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("ValidateRequest: %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("ValidateRequest accepted a malformed request")
+			}
+			// Every rejection must carry the typed sentinel so callers
+			// (and the HTTP layer) can classify without string matching.
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("error %v does not wrap ErrBadRequest", err)
+			}
+		})
+	}
+}
+
+// TestValidateRequestNoDensePath: models with DenseIn == 0 must refuse
+// a dense matrix and accept its absence.
+func TestValidateRequestNoDensePath(t *testing.T) {
+	cfg := Config{Name: "sparse-only", Tables: []TableSpec{{Rows: 10, Dim: 4, Lookups: 1}}}
+	req := Request{Batch: 2, SparseIDs: [][]int{{1, 9}}}
+	if err := ValidateRequest(cfg, req); err != nil {
+		t.Fatalf("sparse-only request rejected: %v", err)
+	}
+	req.Dense = tensor.New(2, 1)
+	if err := ValidateRequest(cfg, req); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("dense input to dense-less model: got %v, want ErrBadRequest", err)
+	}
+}
+
+// TestValidateRequestZeroAlloc pins the admission check's cost: it runs
+// on every Rank call, so the happy path must not allocate.
+func TestValidateRequestZeroAlloc(t *testing.T) {
+	cfg := RMC1Small()
+	req := NewRandomRequest(cfg, 8, stats.NewRNG(1))
+	if err := ValidateRequest(cfg, req); err != nil {
+		t.Fatalf("random request invalid: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := ValidateRequest(cfg, req); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ValidateRequest allocates %.1f objects per accepted request, want 0", allocs)
+	}
+}

@@ -3,7 +3,6 @@ package nn
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"recsys/internal/stats"
 	"recsys/internal/tensor"
@@ -145,7 +144,9 @@ func (e *EmbeddingTable) SparseLengthsSumInto(out *tensor.Tensor, ids, lengths [
 // across workers goroutines (0 = GOMAXPROCS). Each output row is owned
 // by exactly one worker and accumulated in the same ID order as the
 // serial kernel, so results are bit-identical. Small gathers run
-// serially.
+// serially. Shards run under a tensor.ShardGroup (the per-shard ID
+// offsets rule out a plain ParallelFor), so a panicking shard re-raises
+// on the calling goroutine instead of killing the process.
 func (e *EmbeddingTable) ParallelSLS(out *tensor.Tensor, ids, lengths []int, workers int) {
 	checkLengths(ids, lengths)
 	if out.Rank() != 2 || out.Dim(0) != len(lengths) || out.Dim(1) != e.Cols {
@@ -158,7 +159,7 @@ func (e *EmbeddingTable) ParallelSLS(out *tensor.Tensor, ids, lengths []int, wor
 		e.gatherRange(out, ids, lengths, 0, rows, 0)
 		return
 	}
-	var wg sync.WaitGroup
+	var g tensor.ShardGroup
 	chunk := (rows + workers - 1) / workers
 	idOff := 0
 	for lo := 0; lo < rows; lo += chunk {
@@ -166,16 +167,13 @@ func (e *EmbeddingTable) ParallelSLS(out *tensor.Tensor, ids, lengths []int, wor
 		if hi > rows {
 			hi = rows
 		}
-		wg.Add(1)
-		go func(lo, hi, off int) {
-			defer wg.Done()
-			e.gatherRange(out, ids, lengths, lo, hi, off)
-		}(lo, hi, idOff)
+		lo, hi, off := lo, hi, idOff
+		g.Go(func() { e.gatherRange(out, ids, lengths, lo, hi, off) })
 		for k := lo; k < hi; k++ {
 			idOff += lengths[k]
 		}
 	}
-	wg.Wait()
+	g.Wait()
 }
 
 // minParallelGather is the gathered-element count (IDs × Cols) below
@@ -255,22 +253,16 @@ func (s *SLSOp) ForwardEx(ids []int, batch int, a *tensor.Arena, workers int) *t
 	s.Table.validateIDs(ids)
 	workers = slsWorkers(workers, batch, len(ids)*s.Table.Cols)
 	if workers <= 1 {
+		// Inline serial path: the parallel branch's closure must not be
+		// reached here, or its allocation would break the steady-state
+		// zero-alloc contract.
 		s.gatherUniform(out, ids, 0, batch)
 	} else {
-		var wg sync.WaitGroup
-		chunk := (batch + workers - 1) / workers
-		for lo := 0; lo < batch; lo += chunk {
-			hi := lo + chunk
-			if hi > batch {
-				hi = batch
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				s.gatherUniform(out, ids, lo, hi)
-			}(lo, hi)
-		}
-		wg.Wait()
+		// Panic-isolating fan-out: a bad shard re-raises on this
+		// goroutine.
+		tensor.ParallelFor(batch, workers, func(lo, hi int) {
+			s.gatherUniform(out, ids, lo, hi)
+		})
 	}
 	if s.Mean {
 		inv := 1 / float32(s.Lookups)

@@ -3,7 +3,6 @@ package tensor
 import (
 	"fmt"
 	"runtime"
-	"sync"
 )
 
 // nr is the register-tile width of the packed GEMM micro-kernel:
@@ -135,7 +134,9 @@ func gemmPackedRows(ad []float32, pb *PackedB, cd []float32, lo, hi, k, n int) {
 // Small problems (under minParallelMAdds multiply-adds) run serially.
 // The row partition assigns each output row to exactly one worker and
 // leaves the per-row accumulation order unchanged, so results are
-// bit-identical to Gemm.
+// bit-identical to Gemm. Fan-out goes through ParallelFor, so a panic
+// in any shard surfaces on the calling goroutine instead of killing
+// the process.
 func ParallelGemmPacked(a *Tensor, pb *PackedB, c *Tensor, workers int) {
 	m, k, n := checkGemmPacked(a, pb, c)
 	workers = clampWorkers(workers, m, k, n)
@@ -143,17 +144,9 @@ func ParallelGemmPacked(a *Tensor, pb *PackedB, c *Tensor, workers int) {
 		gemmPackedRows(a.data, pb, c.data, 0, m, k, n)
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for lo := 0; lo < m; lo += chunk {
-		hi := min(lo+chunk, m)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmPackedRows(a.data, pb, c.data, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	ParallelFor(m, workers, func(lo, hi int) {
+		gemmPackedRows(a.data, pb, c.data, lo, hi, k, n)
+	})
 }
 
 // clampWorkers resolves a worker count for an m-row, m×k×n-work

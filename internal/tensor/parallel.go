@@ -1,16 +1,13 @@
 package tensor
 
-import (
-	"sync"
-)
-
 // ParallelGemm computes C = A·B + C like Gemm, splitting A's rows
 // across workers goroutines (0 = GOMAXPROCS). Because the row
 // partition assigns each output row to exactly one worker and the
 // per-row accumulation order is unchanged, results are bit-identical
 // to the serial kernel. Problems below minParallelMAdds multiply-adds
 // run serially — at that size goroutine fan-out costs more than the
-// compute.
+// compute. Fan-out goes through ParallelFor, so a panic in any shard
+// surfaces on the calling goroutine instead of killing the process.
 func ParallelGemm(a, b, c *Tensor, workers int) {
 	m, k, n := checkGemm(a, b, c)
 	workers = clampWorkers(workers, m, k, n)
@@ -18,17 +15,9 @@ func ParallelGemm(a, b, c *Tensor, workers int) {
 		Gemm(a, b, c)
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for lo := 0; lo < m; lo += chunk {
-		hi := min(lo+chunk, m)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			aRows := FromSlice(a.data[lo*k:hi*k], hi-lo, k)
-			cRows := FromSlice(c.data[lo*n:hi*n], hi-lo, n)
-			Gemm(aRows, b, cRows)
-		}(lo, hi)
-	}
-	wg.Wait()
+	ParallelFor(m, workers, func(lo, hi int) {
+		aRows := FromSlice(a.data[lo*k:hi*k], hi-lo, k)
+		cRows := FromSlice(c.data[lo*n:hi*n], hi-lo, n)
+		Gemm(aRows, b, cRows)
+	})
 }

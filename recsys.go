@@ -241,6 +241,21 @@ var ErrServerClosed = engine.ErrClosed
 // ErrModelNotFound is returned for requests naming an unknown model.
 var ErrModelNotFound = engine.ErrModelNotFound
 
+// ErrBadRequest marks requests refused by the engine's admission-time
+// validation (shape or sparse-ID range mismatch); classify with
+// errors.Is.
+var ErrBadRequest = engine.ErrBadRequest
+
+// ErrInference wraps a forward-pass fault recovered by an executor
+// worker (an engine-internal error, not a client one).
+var ErrInference = engine.ErrInference
+
+// ValidateRankRequest checks a request against a model configuration —
+// the same admission check ServeEngine.Rank performs: batch positivity,
+// dense shape, sparse table count, per-table ID counts, and ID ranges.
+// Failures wrap ErrBadRequest.
+var ValidateRankRequest = model.ValidateRequest
+
 // Embedding caching (tiered-memory serving).
 type (
 	// CachePolicy is a fixed-capacity embedding-row cache.
