@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test vet race lint verify bench bench-hot
+.PHONY: build test vet fmt-check race lint verify bench bench-hot bench-regress fuzz
 
 build:
 	$(GO) build ./...
@@ -10,6 +11,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Fail (don't warn) when any file needs gofmt, matching the CI gate.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
 
 # Static analysis beyond vet. staticcheck is not vendored; run it when
 # installed (CI installs it), skip with a notice otherwise so verify
@@ -28,12 +35,25 @@ race:
 	$(GO) test -race ./internal/engine ./internal/tensor ./internal/nn
 
 # Tier-1 verify recipe (see ROADMAP.md).
-verify: build test lint race
+verify: fmt-check build test lint race
 
+# Full benchmark suite; also re-measures the guarded hot paths and
+# writes them to BENCH_current.json for comparison against
+# BENCH_baseline.json (see bench_regress_test.go).
 bench:
-	$(GO) test -run xxx -bench . -benchtime=1s .
+	BENCH_JSON=BENCH_current.json $(GO) test -run TestBenchRegression -bench . -benchtime=1s .
+
+# Just the regression gate (it also runs as part of `make test`).
+bench-regress:
+	BENCH_JSON=BENCH_current.json $(GO) test -run TestBenchRegression -v .
 
 # Before/after numbers for the inference hot path (EXPERIMENTS.md,
 # "Hot-path benchmarks").
 bench-hot:
 	$(GO) test -run xxx -bench 'BenchmarkGemm(Serial|Hot)|BenchmarkSLS|BenchmarkForward' -benchtime=1s .
+
+# Fuzz smoke: each native fuzz target for FUZZTIME (go test allows one
+# -fuzz pattern per invocation, so run them sequentially).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzValidateRequest -fuzztime $(FUZZTIME) ./internal/model
+	$(GO) test -run xxx -fuzz FuzzRankRequestDecode -fuzztime $(FUZZTIME) ./internal/engine

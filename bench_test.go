@@ -11,9 +11,12 @@
 package recsys_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"recsys/internal/arch"
+	"recsys/internal/engine"
 	"recsys/internal/model"
 	"recsys/internal/nn"
 	"recsys/internal/perf"
@@ -388,6 +391,45 @@ func BenchmarkForwardHotRMC3Batch64(b *testing.B) {
 func BenchmarkForwardHotParallelRMC2Batch64(b *testing.B) {
 	benchmarkForwardHot(b, model.RMC2Small().Scaled(100), 64, 0)
 }
+
+// benchmarkEngineRank times the full request lifecycle — admission,
+// validation, queue, executor dispatch, forward pass, reply — on the
+// pooled RankInto path with batching and tracing off. Steady state
+// must report 0 allocs/op: the whole-engine extension of the
+// ForwardEx allocation contract, enforced by TestBenchRegression.
+func benchmarkEngineRank(b *testing.B, batch int) {
+	cfg := model.RMC1Small().Scaled(500)
+	m, err := model.Build(cfg, stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := engine.New(m, engine.Options{
+		Workers: 1, QueueDepth: 8, MaxBatch: 1,
+		MaxWait: time.Millisecond, IntraOpWorkers: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	req := model.NewRandomRequest(cfg, batch, stats.NewRNG(2))
+	dst := make([]float32, 0, batch)
+	ctx := context.Background()
+	// Warm the job pool, worker scratch, and latency window.
+	for i := 0; i < 50; i++ {
+		if _, err := srv.RankInto(ctx, dst, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.RankInto(ctx, dst, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineRankBatch16(b *testing.B) { benchmarkEngineRank(b, 16) }
 
 // Serial allocating references at the same shapes, for before/after.
 func BenchmarkForwardRMC1Batch64(b *testing.B) { benchmarkForward(b, model.RMC1Small().Scaled(10), 64) }

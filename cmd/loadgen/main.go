@@ -27,6 +27,7 @@ import (
 	batching "recsys/internal/batch" // the batch flag below shadows the package name
 	"recsys/internal/engine"
 	"recsys/internal/model"
+	"recsys/internal/obs"
 	"recsys/internal/server"
 	"recsys/internal/stats"
 	"recsys/internal/trace"
@@ -46,6 +47,7 @@ func main() {
 		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "dynamic-batching wait bound")
 		real        = flag.Bool("real", false, "drive the real in-process engine instead of the simulator")
 		scale       = flag.Int("scale", 100, "embedding-table shrink factor in -real mode")
+		traceOn     = flag.Bool("trace", false, "in -real mode, trace requests and print the slowest request's per-stage breakdown")
 	)
 	flag.Parse()
 
@@ -64,8 +66,12 @@ func main() {
 		os.Exit(1)
 	}
 	if *real {
-		runReal(cfg, *scale, *batch, *workers, *qps, *requests, *sla, *seed, *maxBatch, *maxWait)
+		runReal(cfg, *scale, *batch, *workers, *qps, *requests, *sla, *seed, *maxBatch, *maxWait, *traceOn)
 		return
+	}
+	if *traceOn {
+		fmt.Fprintln(os.Stderr, "loadgen: -trace requires -real (the simulator has no request traces)")
+		os.Exit(1)
 	}
 
 	m, err := arch.ByName(*machineName)
@@ -110,7 +116,7 @@ func main() {
 // runReal drives the real concurrent engine with Poisson-paced
 // requests and reports measured latency, the formed-batch histogram,
 // and the per-operator time split from the instrumented forward pass.
-func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests int, sla time.Duration, seed uint64, maxBatch int, maxWait time.Duration) {
+func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests int, sla time.Duration, seed uint64, maxBatch int, maxWait time.Duration, traceOn bool) {
 	if scale > 1 {
 		cfg = cfg.Scaled(scale)
 	}
@@ -123,12 +129,16 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 	if maxBatch <= 0 {
 		maxBatch = 1
 	}
-	srv, err := engine.New(m, engine.Options{
+	opts := engine.Options{
 		Workers:    workers,
 		QueueDepth: 4 * workers * maxBatch,
 		MaxBatch:   maxBatch,
 		MaxWait:    maxWait,
-	})
+	}
+	if traceOn {
+		opts.TraceRing = 16
+	}
+	srv, err := engine.New(m, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -199,6 +209,42 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 		sort.Strings(kinds)
 		for _, k := range kinds {
 			fmt.Printf("  %-18s %10.0fµs  (%.1f%%)\n", k, st.KindUS[k], 100*st.KindUS[k]/total)
+		}
+	}
+	if traceOn {
+		printSlowest(srv.Traces())
+	}
+}
+
+// printSlowest reports where the slowest retained request's latency
+// went, stage by stage — the live per-request analogue of the paper's
+// Fig. 13 tail-latency breakdown. The stage sum is printed against the
+// end-to-end time as a self-check that the stages tile the request.
+func printSlowest(d obs.Dump) {
+	if !d.Enabled || len(d.Slowest) == 0 {
+		return
+	}
+	tr := d.Slowest[0]
+	fmt.Printf("\nslowest request: %.1fµs end-to-end (batch=%d, ran in a %d-sample coalesced pass)\n",
+		tr.TotalUS, tr.Batch, tr.BatchSamples)
+	stages := []struct {
+		name string
+		us   float64
+	}{
+		{"validate", tr.ValidateUS},
+		{"queue wait", tr.QueueWaitUS},
+		{"batch form", tr.BatchFormUS},
+		{"execute", tr.ExecuteUS},
+	}
+	for _, s := range stages {
+		fmt.Printf("  %-11s %10.1fµs  (%.1f%%)\n", s.name, s.us, 100*s.us/tr.TotalUS)
+	}
+	sum := tr.StageSumUS()
+	fmt.Printf("  %-11s %10.1fµs  (%.1f%% of end-to-end)\n", "stage sum", sum, 100*sum/tr.TotalUS)
+	if len(tr.Ops) > 0 {
+		fmt.Println("  execute operator spans:")
+		for _, op := range tr.Ops {
+			fmt.Printf("    %-18s %-11s %9.1fµs\n", op.Name, op.Kind, op.US)
 		}
 	}
 }

@@ -12,11 +12,17 @@
 // The first model is the default target of POST /rank.
 //
 // Endpoints: POST /rank, POST /rank/{model}, GET /stats,
-// GET /stats/{model}, GET /models, GET /healthz.
+// GET /stats/{model}, GET /metrics, GET /trace/{model}, GET /models,
+// GET /healthz.
 //
 // -timeout sets a per-request deadline: the engine bounds its
 // batch-forming waits by it and sheds expired requests before running
 // them (HTTP 408; counted in GET /stats/{model} as "sheds").
+//
+// -trace N retains each model's N slowest and N most recent request
+// traces (validate / queue-wait / batch-form / execute stages plus
+// per-operator spans), served as JSON by GET /trace/{model}. -pprof
+// additionally mounts net/http/pprof under /debug/pprof/.
 //
 // On SIGINT/SIGTERM, serve stops accepting connections, waits up to
 // -drain for in-flight requests, then drains the engine and exits.
@@ -29,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"strconv"
 	"strings"
@@ -63,6 +70,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "per-request deadline; expired requests are shed, not executed (0 = none)")
 		drain      = flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
 		seed       = flag.Uint64("seed", 1, "weight seed for presets")
+		traceRing  = flag.Int("trace", 0, "retain N slowest + N most recent request traces per model (GET /trace/{model}; 0 = off)")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Var(&specs, "model",
 		"model to serve, name=preset[:scale][@weight] (repeatable; bare preset = single model)")
@@ -74,6 +83,7 @@ func main() {
 		MaxBatch:       *maxBatch,
 		MaxWait:        *maxWait,
 		IntraOpWorkers: *intraOp,
+		TraceRing:      *traceRing,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -85,20 +95,7 @@ func main() {
 	log.Printf("serving %s on %s (%d workers, batch<=%d, wait<=%v)",
 		strings.Join(eng.Models(), ", "), *addr, *workers, *maxBatch, *maxWait)
 
-	handler := eng.Handler()
-	if *timeout > 0 {
-		// Per-request SLA: the deadline rides the request context into
-		// the engine, which bounds batch-forming waits by it and sheds
-		// (rather than executes) work that can no longer meet it.
-		inner := handler
-		d := *timeout
-		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			ctx, cancel := context.WithTimeout(r.Context(), d)
-			defer cancel()
-			inner.ServeHTTP(w, r.WithContext(ctx))
-		})
-	}
-	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	httpSrv := &http.Server{Addr: *addr, Handler: buildHandler(eng, *timeout, *pprofOn)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
@@ -119,6 +116,38 @@ func main() {
 	}
 	eng.Close()
 	log.Print("bye")
+}
+
+// buildHandler assembles the serving handler: the engine's endpoints,
+// optionally under a per-request deadline, optionally joined by
+// net/http/pprof. Split from main so the black-box server test can
+// exercise the exact handler the binary serves.
+func buildHandler(eng *engine.Engine, timeout time.Duration, pprofOn bool) http.Handler {
+	handler := eng.Handler()
+	if timeout > 0 {
+		// Per-request SLA: the deadline rides the request context into
+		// the engine, which bounds batch-forming waits by it and sheds
+		// (rather than executes) work that can no longer meet it.
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), timeout)
+			defer cancel()
+			inner.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+	if pprofOn {
+		// Mounted outside the deadline wrapper: profile captures run for
+		// ?seconds=N and must not inherit the ranking SLA.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	return handler
 }
 
 // registerModels fills the engine's registry from the flags: a

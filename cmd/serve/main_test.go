@@ -1,0 +1,231 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"recsys/internal/engine"
+	"recsys/internal/obs"
+	"recsys/internal/stats"
+)
+
+// startServer boots the exact stack the binary serves — registerModels
+// over the flag-shaped spec strings, buildHandler with pprof on — on a
+// real loopback listener (httptest binds 127.0.0.1:0).
+func startServer(t *testing.T, specs modelSpecs, opts engine.Options, timeout time.Duration) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	eng, err := engine.NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := registerModels(eng, "", specs, 1000, 1); err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(buildHandler(eng, timeout, true))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return eng, srv
+}
+
+// rankBody builds a valid POST /rank payload for the registered model.
+func rankBody(t *testing.T, eng *engine.Engine, name string, batch int) []byte {
+	t.Helper()
+	m, err := eng.Model(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr RankRequestDoc
+	for b := 0; b < batch; b++ {
+		row := make([]float32, m.Config.DenseIn)
+		for i := range row {
+			row[i] = float32(b+i) / 10
+		}
+		rr.Dense = append(rr.Dense, row)
+	}
+	for _, tb := range m.Config.Tables {
+		ids := make([]int, batch*tb.Lookups)
+		for i := range ids {
+			ids[i] = i % tb.Rows
+		}
+		rr.SparseIDs = append(rr.SparseIDs, ids)
+	}
+	body, err := json.Marshal(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// RankRequestDoc mirrors engine.RankRequest's wire shape; declared
+// locally so the test exercises the JSON contract, not the Go type.
+type RankRequestDoc struct {
+	Dense     [][]float32 `json:"dense,omitempty"`
+	SparseIDs [][]int     `json:"sparse_ids"`
+}
+
+// TestServeEndToEnd drives the full binary surface over HTTP: rank a
+// request, scrape /metrics, fetch the request trace, and hit pprof.
+func TestServeEndToEnd(t *testing.T) {
+	opts := engine.Options{
+		Workers: 2, QueueDepth: 32, MaxBatch: 4,
+		MaxWait: 200 * time.Microsecond, IntraOpWorkers: 1,
+		TraceRing: 8,
+	}
+	eng, srv := startServer(t, modelSpecs{"rmc1"}, opts, 0)
+
+	const batch = 3
+	resp, err := http.Post(srv.URL+"/rank", "application/json",
+		bytes.NewReader(rankBody(t, eng, engine.DefaultModelName, batch)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /rank: status %d: %s", resp.StatusCode, b)
+	}
+	var ranked struct {
+		CTR []float32 `json:"ctr"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ranked); err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked.CTR) != batch {
+		t.Fatalf("got %d scores, want %d", len(ranked.CTR), batch)
+	}
+
+	// /metrics reflects the completed request.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics: content-type %q", ct)
+	}
+	mb, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(mb)
+	for _, want := range []string{
+		`recsys_requests_total{model="default"} 1`,
+		`recsys_samples_total{model="default"} 3`,
+		`recsys_rank_latency_seconds_count{model="default"} 1`,
+		`recsys_traces_total{model="default"} 1`,
+		`recsys_queue_capacity{model="default"} 32`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("GET /metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+
+	// /trace/{model} returns the retained trace with tiled stages.
+	tresp, err := http.Get(srv.URL + "/trace/" + engine.DefaultModelName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace: status %d", tresp.StatusCode)
+	}
+	var dump obs.Dump
+	if err := json.NewDecoder(tresp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if !dump.Enabled || dump.Added != 1 || len(dump.Recent) != 1 {
+		t.Fatalf("trace dump: enabled=%v added=%d recent=%d", dump.Enabled, dump.Added, len(dump.Recent))
+	}
+	tr := dump.Recent[0]
+	if tr.Outcome != obs.OutcomeOK || tr.Model != engine.DefaultModelName || tr.Batch != batch {
+		t.Fatalf("trace: %+v", tr)
+	}
+	if tr.ExecuteUS <= 0 || tr.TotalUS < tr.ExecuteUS || len(tr.Ops) == 0 {
+		t.Fatalf("trace stages: execute=%v total=%v ops=%d", tr.ExecuteUS, tr.TotalUS, len(tr.Ops))
+	}
+
+	// Unknown model → 404.
+	nresp, err := http.Get(srv.URL + "/trace/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /trace/nope: status %d, want 404", nresp.StatusCode)
+	}
+
+	// -pprof mounts the profiler endpoints next to the ranking API.
+	presp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/cmdline: status %d", presp.StatusCode)
+	}
+}
+
+// TestServeBadRequest checks the HTTP error taxonomy end to end: a
+// shape-invalid body is rejected with 400 before execution and counted
+// in /metrics as rejected.
+func TestServeBadRequest(t *testing.T) {
+	opts := engine.Options{
+		Workers: 1, QueueDepth: 8, MaxBatch: 1,
+		MaxWait: time.Millisecond, IntraOpWorkers: 1,
+	}
+	_, srv := startServer(t, modelSpecs{"rmc1"}, opts, 0)
+
+	resp, err := http.Post(srv.URL+"/rank", "application/json",
+		strings.NewReader(`{"dense": [[1,2]], "sparse_ids": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed rank: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBuildSpec covers the -model spec grammar.
+func TestBuildSpec(t *testing.T) {
+	cases := []struct {
+		spec   string
+		name   string
+		weight int
+		ok     bool
+	}{
+		{"rmc1", "default", 1, true},
+		{"filter=rmc1:500@2", "filter", 2, true},
+		{"ranker=rmc3:500", "ranker", 1, true},
+		{"=rmc1", "", 0, false},
+		{"rmc1@0", "", 0, false},
+		{"rmc1:-5", "", 0, false},
+		{"nope", "", 0, false},
+	}
+	rng := stats.NewRNG(1)
+	for _, c := range cases {
+		name, m, weight, err := buildSpec(c.spec, 1000, rng.Split())
+		if c.ok != (err == nil) {
+			t.Errorf("buildSpec(%q): err=%v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if name != c.name || weight != c.weight || m == nil {
+			t.Errorf("buildSpec(%q) = (%q, %v, %d), want (%q, _, %d)", c.spec, name, m, weight, c.name, c.weight)
+		}
+	}
+}

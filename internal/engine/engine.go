@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"recsys/internal/model"
+	"recsys/internal/obs"
 )
 
 // Options configures the engine.
@@ -47,6 +48,13 @@ type Options struct {
 	// batching-vs-latency trade-off of the paper's §V. 1 disables
 	// intra-op parallelism.
 	IntraOpWorkers int
+	// TraceRing enables per-request lifecycle tracing: each model
+	// retains its TraceRing slowest and TraceRing most recent traces
+	// (admission, validate, queue wait, batch formation, execute with
+	// per-operator spans, and shed/reject terminal events), served by
+	// GET /trace/{model} and Engine.Traces. 0 disables tracing — the
+	// hot path then performs no trace clock reads or allocations.
+	TraceRing int
 }
 
 // DefaultOptions returns a 4-worker engine with moderate batching.
@@ -117,6 +125,21 @@ func (s *Server) Engine() *Engine { return s.eng }
 // it or ctx is done.
 func (s *Server) Rank(ctx context.Context, req model.Request) ([]float32, error) {
 	return s.eng.Rank(ctx, DefaultModelName, req)
+}
+
+// RankInto is Rank with a caller-owned result buffer; see
+// Engine.RankInto for the ownership contract.
+func (s *Server) RankInto(ctx context.Context, dst []float32, req model.Request) ([]float32, error) {
+	return s.eng.RankInto(ctx, DefaultModelName, dst, req)
+}
+
+// Traces returns the retained request traces (Options.TraceRing).
+func (s *Server) Traces() obs.Dump {
+	d, err := s.eng.Traces(DefaultModelName)
+	if err != nil {
+		return obs.Dump{}
+	}
+	return d
 }
 
 // Close stops accepting requests, drains the queue, and waits for

@@ -2,8 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"recsys/internal/model"
+	"recsys/internal/nn"
+	"recsys/internal/obs"
 	"recsys/internal/tensor"
 )
 
@@ -14,13 +17,34 @@ import (
 // socket's cores between inter-request workers and intra-op kernel
 // goroutines is the co-location structure of the paper's §V-§VI.
 
+// spanTap is the per-worker model.SpanObserver: every span always
+// lands in the current queue's per-kind accumulators, and when the
+// dispatch carries a traced request the spans are additionally
+// captured into a reusable buffer for the request traces. One tap per
+// worker goroutine, so retargeting it per dispatch needs no locking
+// and the interface value passed to ForwardSpans never allocates.
+type spanTap struct {
+	counters *counters
+	capture  bool
+	spans    []obs.Span
+}
+
+// OpSpan implements model.SpanObserver.
+func (o *spanTap) OpSpan(name string, kind nn.Kind, d time.Duration) {
+	o.counters.OpSpan(name, kind, d)
+	if o.capture {
+		o.spans = append(o.spans, obs.Span{Name: name, Kind: kind.String(), US: float64(d) / 1e3})
+	}
+}
+
 // workerScratch is the per-worker reusable state: a tensor arena for
-// every activation of the forward pass, plus the coalesced-request
-// buffers merge refills in place. One scratch per worker goroutine, so
-// no locking — the paper's intra/inter-op split keeps each request's
-// working set private to one worker.
+// every activation of the forward pass, the coalesced-request buffers
+// merge refills in place, and the span tap. One scratch per worker
+// goroutine, so no locking — the paper's intra/inter-op split keeps
+// each request's working set private to one worker.
 type workerScratch struct {
 	arena *tensor.Arena
+	tap   spanTap
 	batch []*job    // forming-batch buffer, reused across dispatches
 	dense []float32 // merged dense features, grown to high-water mark
 	ids   [][]int   // per-table merged ID lists, capacities reused
@@ -143,19 +167,51 @@ func (e *Engine) dispatch(mq *modelQueue, first *job, scratch *workerScratch) {
 	}
 }
 
+// deliver copies one job's score rows (into its RankInto buffer when
+// it has one), stamps the trace's execute stage, and finishes the job.
+func deliver(mq *modelQueue, j *job, rows []float32, execUS float64, spans []obs.Span, batchSamples int) {
+	if j.tr != nil {
+		j.tr.ExecuteUS = execUS
+		j.tr.BatchSamples = batchSamples
+		if len(spans) > 0 {
+			j.tr.Ops = append([]obs.Span(nil), spans...)
+		}
+	}
+	j.finish(mq, jobResult{ctr: append(j.dst[:0], rows...)}, obs.OutcomeOK)
+}
+
+// fail finishes one job with an execution error.
+func fail(mq *modelQueue, j *job, err error) {
+	j.finish(mq, jobResult{err: err}, obs.OutcomeError)
+}
+
 // process runs one coalesced forward pass and distributes the results.
 func (e *Engine) process(mq *modelQueue, jobs []*job, samples int, scratch *workerScratch) {
 	// Shed requests whose context expired between pop and processing.
 	live := jobs[:0]
+	traced := false
 	for _, j := range jobs {
 		if j.expired() {
 			mq.shed(j)
 			continue
 		}
+		if j.tr != nil {
+			traced = true
+		}
 		live = append(live, j)
 	}
 	if len(live) == 0 {
 		return
+	}
+	if traced {
+		// Batch formation ends here: everything between the job's pop
+		// and this instant was spent holding the batch open.
+		now := time.Now()
+		for _, j := range live {
+			if j.tr != nil {
+				j.tr.BatchFormUS = float64(now.Sub(j.popAt)) / 1e3
+			}
+		}
 	}
 	m := mq.model.Load()
 	merged, err := merge(m.Config, live, scratch)
@@ -163,22 +219,30 @@ func (e *Engine) process(mq *modelQueue, jobs []*job, samples int, scratch *work
 		// Fall back to per-request execution so one malformed request
 		// cannot poison its batch peers.
 		for _, j := range live {
-			ctr, err := e.forward(mq, m, j.req, scratch)
-			j.resp <- jobResult{ctr: ctr, err: err}
+			out, execUS, spans, ferr := e.forward(mq, m, j.req, scratch, j.tr != nil)
+			if ferr != nil {
+				fail(mq, j, ferr)
+				continue
+			}
+			deliver(mq, j, out.Data(), execUS, spans, j.req.Batch)
 		}
 		return
 	}
-	ctr, err := e.forward(mq, m, merged, scratch)
+	out, execUS, spans, err := e.forward(mq, m, merged, scratch, traced)
 	if err != nil {
 		for _, j := range live {
-			j.resp <- jobResult{err: err}
+			fail(mq, j, err)
 		}
 		return
 	}
 	off := 0
+	data := out.Data()
 	for _, j := range live {
-		j.resp <- jobResult{ctr: ctr[off : off+j.req.Batch : off+j.req.Batch]}
-		off += j.req.Batch
+		// Read the batch size before deliver: once the response is
+		// sent, the Rank goroutine may pool and clear the job.
+		n := j.req.Batch
+		deliver(mq, j, data[off:off+n], execUS, spans, samples)
+		off += n
 	}
 }
 
@@ -186,22 +250,35 @@ func (e *Engine) process(mq *modelQueue, jobs []*job, samples int, scratch *work
 // hot path, converting panics into ErrInference-wrapped errors. The
 // recover is airtight against intra-op parallelism because every
 // kernel fan-out goes through tensor.ParallelFor / tensor.ShardGroup,
-// which re-raise shard panics on this goroutine. The returned CTR
-// slice is freshly allocated (it escapes to the caller's response
-// channel); every intermediate activation lives in the worker's arena,
-// which is recycled per call. Per-operator spans land in the queue's
-// kind accumulators.
-func (e *Engine) forward(mq *modelQueue, m *model.Model, req model.Request, scratch *workerScratch) (ctr []float32, err error) {
+// which re-raise shard panics on this goroutine. The returned tensor
+// aliases the worker's arena and is valid until the next forward on
+// the same worker — callers copy rows out per job before returning.
+// Per-operator spans always land in the queue's kind accumulators;
+// when traced they are additionally captured (with the wall-clock
+// execute time) into the worker's reusable span buffer, returned as
+// spans.
+func (e *Engine) forward(mq *modelQueue, m *model.Model, req model.Request, scratch *workerScratch, traced bool) (out *tensor.Tensor, execUS float64, spans []obs.Span, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			out = nil
 			err = fmt.Errorf("%w: %v", ErrInference, r)
 		}
 	}()
 	scratch.arena.Reset()
-	out := m.ForwardSpans(req, scratch.arena, e.opts.IntraOpWorkers, &mq.counters)
-	ctr = append(make([]float32, 0, req.Batch), out.Data()...)
+	scratch.tap.counters = &mq.counters
+	scratch.tap.capture = traced
+	scratch.tap.spans = scratch.tap.spans[:0]
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
+	out = m.ForwardSpans(req, scratch.arena, e.opts.IntraOpWorkers, &scratch.tap)
+	if traced {
+		execUS = float64(time.Since(t0)) / 1e3
+		spans = scratch.tap.spans
+	}
 	mq.recordBatch(req.Batch)
-	return ctr, nil
+	return out, execUS, spans, nil
 }
 
 // merge concatenates requests into one, reusing the worker's dense and

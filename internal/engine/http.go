@@ -19,6 +19,8 @@ import (
 //	POST /rank/{model}    same body, routed to a named model
 //	GET  /stats           aggregate counters + per-model breakdown
 //	GET  /stats/{model}   one model's counters
+//	GET  /metrics         Prometheus text exposition (metrics.go)
+//	GET  /trace/{model}   retained request traces (Options.TraceRing)
 //	GET  /models          registered model names
 //	GET  /healthz         liveness
 //
@@ -51,6 +53,8 @@ func (e *Engine) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /stats", e.handleStats)
 	mux.HandleFunc("GET /stats/{model}", e.handleModelStats)
+	mux.HandleFunc("GET /metrics", e.handleMetrics)
+	mux.HandleFunc("GET /trace/{model}", e.handleTrace)
 	mux.HandleFunc("GET /models", e.handleModels)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -137,6 +141,26 @@ func (e *Engine) handleModelStats(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(statsJSON(st))
+}
+
+// handleMetrics serves the Prometheus text exposition (metrics.go).
+func (e *Engine) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e.WriteMetrics(w)
+}
+
+// handleTrace dumps one model's retained request traces. With tracing
+// disabled (Options.TraceRing == 0) the dump reports Enabled:false and
+// empty trace lists rather than an error, so scrapers need no config
+// knowledge.
+func (e *Engine) handleTrace(w http.ResponseWriter, r *http.Request) {
+	d, err := e.Traces(r.PathValue("model"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(d)
 }
 
 func (e *Engine) handleModels(w http.ResponseWriter, _ *http.Request) {

@@ -245,7 +245,7 @@ func TestMergeValidatesLoneJob(t *testing.T) {
 // queueForBatching returns a standalone modelQueue (no engine, no
 // workers competing for its jobs) for direct formBatch tests.
 func queueForBatching(pol batch.Policy) *modelQueue {
-	return newModelQueue("test", nil, 1, pol, 32)
+	return newModelQueue("test", nil, 1, pol, 32, 0)
 }
 
 // simpleReq builds a request whose only meaningful field is Batch —

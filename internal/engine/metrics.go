@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"io"
+	"sort"
+
+	"recsys/internal/nn"
+	"recsys/internal/obs"
+)
+
+// Prometheus text exposition of the engine's serving state
+// (GET /metrics). The output is deterministic: families are written in
+// the fixed order below and series within a family in model-name
+// order, so a deterministic engine run produces byte-stable output
+// modulo timing-derived values — the property the golden exposition
+// test pins.
+//
+// Families (all per model unless noted):
+//
+//	recsys_engine_workers                 gauge   (engine-wide)
+//	recsys_engine_models                  gauge   (engine-wide)
+//	recsys_requests_total                 counter
+//	recsys_samples_total                  counter
+//	recsys_batches_total                  counter
+//	recsys_errors_total                   counter
+//	recsys_rejected_total                 counter
+//	recsys_sheds_total                    counter
+//	recsys_traces_total                   counter (only when tracing)
+//	recsys_queue_depth                    gauge
+//	recsys_queue_capacity                 gauge
+//	recsys_model_weight                   gauge
+//	recsys_rank_latency_seconds           histogram
+//	recsys_batch_size_samples             histogram
+//	recsys_op_seconds_total{model,kind}   counter
+type metricsView struct {
+	name string
+	mq   *modelQueue
+}
+
+// metricsOrder snapshots the registered queues sorted by model name —
+// exposition order must not depend on registration order or map
+// iteration.
+func (e *Engine) metricsOrder() []metricsView {
+	e.mu.Lock()
+	views := make([]metricsView, 0, len(e.order))
+	for _, mq := range e.order {
+		views = append(views, metricsView{name: mq.name, mq: mq})
+	}
+	e.mu.Unlock()
+	sort.Slice(views, func(i, j int) bool { return views[i].name < views[j].name })
+	return views
+}
+
+// WriteMetrics writes the Prometheus text exposition of every
+// registered model's serving counters, histograms, and queue gauges.
+func (e *Engine) WriteMetrics(w io.Writer) {
+	views := e.metricsOrder()
+	lbl := func(v metricsView) []obs.Label {
+		return []obs.Label{{Name: "model", Value: v.name}}
+	}
+
+	obs.WriteFamily(w, "recsys_engine_workers", "gauge", "Executor goroutines shared by all models.")
+	obs.WriteIntSample(w, "recsys_engine_workers", nil, int64(e.opts.Workers))
+	obs.WriteFamily(w, "recsys_engine_models", "gauge", "Registered models.")
+	obs.WriteIntSample(w, "recsys_engine_models", nil, int64(len(views)))
+
+	counters := []struct {
+		name string
+		help string
+		load func(*modelQueue) int64
+	}{
+		{"recsys_requests_total", "Rank calls completed successfully.", func(mq *modelQueue) int64 { return mq.requests.Load() }},
+		{"recsys_samples_total", "User-item pairs ranked.", func(mq *modelQueue) int64 { return mq.samples.Load() }},
+		{"recsys_batches_total", "Coalesced forward passes executed.", func(mq *modelQueue) int64 { return mq.batches.Load() }},
+		{"recsys_errors_total", "Failed requests (bad input, shed, cancelled, or internal).", func(mq *modelQueue) int64 { return mq.errs.Load() }},
+		{"recsys_rejected_total", "Requests refused by admission-time validation.", func(mq *modelQueue) int64 { return mq.rejected.Load() }},
+		{"recsys_sheds_total", "Deadline sheds: requests dropped without a forward pass.", func(mq *modelQueue) int64 { return mq.sheds.Load() }},
+	}
+	for _, c := range counters {
+		obs.WriteFamily(w, c.name, "counter", c.help)
+		for _, v := range views {
+			obs.WriteIntSample(w, c.name, lbl(v), c.load(v.mq))
+		}
+	}
+
+	if e.opts.TraceRing > 0 {
+		obs.WriteFamily(w, "recsys_traces_total", "counter", "Request traces recorded (Options.TraceRing).")
+		for _, v := range views {
+			if v.mq.ring != nil {
+				obs.WriteIntSample(w, "recsys_traces_total", lbl(v), v.mq.ring.Added())
+			}
+		}
+	}
+
+	obs.WriteFamily(w, "recsys_queue_depth", "gauge", "Requests waiting in the admission queue.")
+	for _, v := range views {
+		obs.WriteIntSample(w, "recsys_queue_depth", lbl(v), int64(len(v.mq.q)))
+	}
+	obs.WriteFamily(w, "recsys_queue_capacity", "gauge", "Admission queue bound (Options.QueueDepth).")
+	for _, v := range views {
+		obs.WriteIntSample(w, "recsys_queue_capacity", lbl(v), int64(cap(v.mq.q)))
+	}
+	obs.WriteFamily(w, "recsys_model_weight", "gauge", "Executor weighted-fair pick weight.")
+	for _, v := range views {
+		obs.WriteIntSample(w, "recsys_model_weight", lbl(v), int64(v.mq.weight))
+	}
+
+	obs.WriteFamily(w, "recsys_rank_latency_seconds", "histogram", "End-to-end Rank latency.")
+	for _, v := range views {
+		obs.WriteHistogram(w, "recsys_rank_latency_seconds", lbl(v), v.mq.latHist.Snapshot(), 1e9)
+	}
+	obs.WriteFamily(w, "recsys_batch_size_samples", "histogram", "Formed-batch size in samples.")
+	for _, v := range views {
+		obs.WriteHistogram(w, "recsys_batch_size_samples", lbl(v), v.mq.batchHist.Snapshot(), 1)
+	}
+
+	obs.WriteFamily(w, "recsys_op_seconds_total", "counter", "Cumulative forward-pass time by operator kind.")
+	for _, v := range views {
+		for _, k := range nn.Kinds() {
+			ns := v.mq.kindNS[k].Load()
+			if ns == 0 {
+				continue
+			}
+			labels := append(lbl(v), obs.Label{Name: "kind", Value: k.String()})
+			obs.WriteSample(w, "recsys_op_seconds_total", labels, float64(ns)/1e9)
+		}
+	}
+}

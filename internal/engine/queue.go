@@ -8,6 +8,7 @@ import (
 
 	"recsys/internal/batch"
 	"recsys/internal/model"
+	"recsys/internal/obs"
 )
 
 // job is one admitted Rank call waiting for an executor worker.
@@ -19,11 +20,69 @@ type job struct {
 	// context has none), so the batch former can bound its wait without
 	// re-querying the context interface per pop.
 	deadline time.Time
+	// dst, when non-nil, receives the scores (RankInto): the worker
+	// appends into dst[:0] instead of allocating a fresh result slice.
+	dst []float32
+
+	// tr is the request's lifecycle trace, nil when tracing is off.
+	// Every trace-related clock read below is gated on tr != nil, so a
+	// disabled trace costs the hot path nothing. enqueuedAt and popAt
+	// are the intermediate timestamps the queue-wait and batch-form
+	// stages are computed from.
+	tr         *obs.Trace
+	enqueuedAt time.Time
+	popAt      time.Time
 }
 
 // expired reports whether the job's context is already done — the job
 // can no longer be answered in time and must be shed, not executed.
 func (j *job) expired() bool { return j.ctx.Err() != nil }
+
+// jobPool recycles job objects (and their one-slot response channels)
+// across Rank calls, keeping the steady-state admission path
+// allocation-free. Jobs are pooled only by the Rank goroutine after it
+// has consumed the response (or aborted before enqueue) — a job
+// abandoned on ctx.Done stays with the worker and is dropped to the
+// GC, never double-pooled.
+var jobPool = sync.Pool{
+	New: func() any { return &job{resp: make(chan jobResult, 1)} },
+}
+
+// getJob returns a reset pooled job.
+func getJob() *job { return jobPool.Get().(*job) }
+
+// putJob clears the job's request state (so pooled jobs retain no
+// tensors or traces) and returns it to the pool. The response channel
+// is kept: it is empty on every putJob path.
+func putJob(j *job) {
+	j.ctx = nil
+	j.req = model.Request{}
+	j.deadline = time.Time{}
+	j.dst = nil
+	j.tr = nil
+	j.enqueuedAt = time.Time{}
+	j.popAt = time.Time{}
+	jobPool.Put(j)
+}
+
+// finish delivers the job's terminal event: it completes the trace
+// (queue wait from the recorded timestamps, outcome, total) and sends
+// the result. Exactly one finish happens per dequeued job — shed,
+// failed, or scored.
+func (j *job) finish(mq *modelQueue, res jobResult, outcome string) {
+	if j.tr != nil {
+		if !j.popAt.IsZero() {
+			j.tr.QueueWaitUS = float64(j.popAt.Sub(j.enqueuedAt)) / 1e3
+		}
+		j.tr.Outcome = outcome
+		if res.err != nil {
+			j.tr.Err = res.err.Error()
+		}
+		j.tr.TotalUS = float64(time.Since(j.tr.Start)) / 1e3
+		mq.ring.Add(j.tr)
+	}
+	j.resp <- res
+}
 
 type jobResult struct {
 	ctr []float32
@@ -31,15 +90,20 @@ type jobResult struct {
 }
 
 // modelQueue is the per-model serving state: the hot-swappable model
-// pointer, a bounded admission queue, the batch-forming policy, and
-// serving counters. Executor workers drain queues; Rank calls feed
-// them.
+// pointer, a bounded admission queue, the batch-forming policy, the
+// trace ring, and serving counters. Executor workers drain queues;
+// Rank calls feed them.
 type modelQueue struct {
 	name   string
 	weight int          // executor pick weight (≥ 1)
 	policy batch.Policy // batch former bounds
 
 	model atomic.Pointer[model.Model] // swapped atomically by Swap
+
+	// ring retains the N slowest + N most recent request traces, nil
+	// when tracing is disabled (Options.TraceRing == 0). Jobs carry a
+	// non-nil trace iff ring is non-nil.
+	ring *obs.Ring
 
 	// q is the admission queue. A full queue blocks Rank (admission
 	// control / backpressure), exactly like the single-model engine.
@@ -59,22 +123,33 @@ type modelQueue struct {
 	counters
 }
 
-func newModelQueue(name string, m *model.Model, weight int, policy batch.Policy, depth int) *modelQueue {
+func newModelQueue(name string, m *model.Model, weight int, policy batch.Policy, depth, traceRing int) *modelQueue {
 	mq := &modelQueue{
 		name:   name,
 		weight: weight,
 		policy: policy,
+		ring:   obs.NewRing(traceRing),
 		q:      make(chan *job, depth),
 		gone:   make(chan struct{}),
 	}
+	mq.counters.init()
 	mq.model.Store(m)
 	return mq
+}
+
+// notePop timestamps a traced job's dequeue — the boundary between its
+// queue-wait and batch-form stages.
+func notePop(j *job) {
+	if j.tr != nil {
+		j.popAt = time.Now()
+	}
 }
 
 // tryPop removes one queued job without blocking.
 func (mq *modelQueue) tryPop() (*job, bool) {
 	select {
 	case j := <-mq.q:
+		notePop(j)
 		return j, true
 	default:
 		return nil, false
@@ -128,6 +203,7 @@ func (mq *modelQueue) formBatch(first *job, buf []*job, stop <-chan struct{}) (j
 			}
 			select {
 			case next = <-mq.q: // q is never closed; see the field comment
+				notePop(next)
 			case <-timer.C:
 				return jobs, samples, nil
 			case <-stop:
@@ -159,7 +235,7 @@ func (mq *modelQueue) formBatch(first *job, buf []*job, stop <-chan struct{}) (j
 // own ctx.Done).
 func (mq *modelQueue) shed(j *job) {
 	mq.sheds.Add(1)
-	j.resp <- jobResult{err: j.ctx.Err()}
+	j.finish(mq, jobResult{err: j.ctx.Err()}, obs.OutcomeShed)
 }
 
 // failPending drains the admission queue and fails every queued job
@@ -172,6 +248,6 @@ func (mq *modelQueue) failPending(err error) {
 			return
 		}
 		mq.errs.Add(1)
-		j.resp <- jobResult{err: err}
+		j.finish(mq, jobResult{err: err}, obs.OutcomeError)
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"recsys/internal/batch"
 	"recsys/internal/model"
+	"recsys/internal/obs"
 )
 
 // ErrModelNotFound is returned (wrapped with the model name) by Rank,
@@ -112,7 +113,7 @@ func (e *Engine) Register(name string, m *model.Model, mo ModelOptions) error {
 	if _, dup := e.queues[name]; dup {
 		return fmt.Errorf("engine: model %q already registered", name)
 	}
-	mq := newModelQueue(name, m, weight, pol, e.opts.QueueDepth)
+	mq := newModelQueue(name, m, weight, pol, e.opts.QueueDepth, e.opts.TraceRing)
 	e.queues[name] = mq
 	e.order = append(e.order, mq)
 	e.wrrTotal += weight
@@ -245,6 +246,38 @@ func (e *Engine) lookup(name string) (*modelQueue, error) {
 // default model), blocking until an executor worker completes it or
 // ctx is done.
 func (e *Engine) Rank(ctx context.Context, name string, req model.Request) ([]float32, error) {
+	return e.RankInto(ctx, name, nil, req)
+}
+
+// sealTrace records a terminal event for a request that never reached
+// the executor (admission shed, validation reject, or an aborted
+// enqueue).
+func sealTrace(mq *modelQueue, tr *obs.Trace, outcome string, err error) {
+	if tr == nil {
+		return
+	}
+	tr.Outcome = outcome
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	tr.TotalUS = float64(time.Since(tr.Start)) / 1e3
+	mq.ring.Add(tr)
+}
+
+// RankInto is Rank with a caller-owned result buffer: the scores are
+// appended into dst[:0] (grown when capacity is short) so a caller
+// reusing its buffer ranks with zero steady-state allocations — the
+// engine-level extension of the ForwardEx arena contract, enforced by
+// the bench-regression harness.
+//
+// Ownership: on success the returned slice is dst's backing array (or
+// a grown replacement). On error the buffer's contents are
+// unspecified; if the error came from ctx (the request was abandoned
+// mid-flight) a worker may still be writing into dst's backing array,
+// so the caller must not reuse dst until the request's batch has
+// surely drained — pass a fresh buffer per attempt when deadlines can
+// lapse.
+func (e *Engine) RankInto(ctx context.Context, name string, dst []float32, req model.Request) ([]float32, error) {
 	// Admission: resolve the queue and register as a sender under the
 	// lock, so Close and Unregister wait for the enqueue (or its
 	// abort) before draining.
@@ -265,6 +298,14 @@ func (e *Engine) Rank(ctx context.Context, name string, req model.Request) ([]fl
 	mq.senders.Add(1)
 	e.mu.Unlock()
 
+	// Trace admission: one allocation per request when the model's
+	// ring is configured, none at all when tracing is off — every
+	// trace-gated clock read below keys off tr != nil.
+	var tr *obs.Trace
+	if mq.ring != nil {
+		tr = &obs.Trace{Model: mq.name, Batch: req.Batch, Start: time.Now()}
+	}
+
 	// Deadline-aware shedding starts at admission: a request whose
 	// context is already done is dropped before it can occupy queue
 	// space or a batch-forming wait.
@@ -272,6 +313,7 @@ func (e *Engine) Rank(ctx context.Context, name string, req model.Request) ([]fl
 		mq.senders.Done()
 		mq.sheds.Add(1)
 		mq.errs.Add(1)
+		sealTrace(mq, tr, obs.OutcomeShed, err)
 		return nil, err
 	}
 	// Admission-time validation: malformed requests are refused here
@@ -279,15 +321,29 @@ func (e *Engine) Rank(ctx context.Context, name string, req model.Request) ([]fl
 	// worker deep inside a kernel. Swap preserves input shapes, so a
 	// request validated against the current model stays valid for any
 	// later swap-in.
-	if err := model.ValidateRequest(mq.model.Load().Config, req); err != nil {
+	cfg := mq.model.Load().Config
+	var verr error
+	if tr != nil {
+		v0 := time.Now()
+		verr = model.ValidateRequest(cfg, req)
+		tr.ValidateUS = float64(time.Since(v0)) / 1e3
+	} else {
+		verr = model.ValidateRequest(cfg, req)
+	}
+	if verr != nil {
 		mq.senders.Done()
 		mq.rejected.Add(1)
 		mq.errs.Add(1)
-		return nil, err
+		sealTrace(mq, tr, obs.OutcomeRejected, verr)
+		return nil, verr
 	}
 
 	deadline, _ := ctx.Deadline()
-	j := &job{ctx: ctx, req: req, resp: make(chan jobResult, 1), deadline: deadline}
+	j := getJob()
+	j.ctx, j.req, j.deadline, j.dst, j.tr = ctx, req, deadline, dst, tr
+	if tr != nil {
+		j.enqueuedAt = time.Now()
+	}
 	select {
 	case mq.q <- j:
 		mq.senders.Done()
@@ -295,31 +351,59 @@ func (e *Engine) Rank(ctx context.Context, name string, req model.Request) ([]fl
 	case <-ctx.Done():
 		mq.senders.Done()
 		mq.errs.Add(1)
+		sealTrace(mq, tr, obs.OutcomeShed, ctx.Err())
+		putJob(j)
 		return nil, ctx.Err()
 	case <-e.closing:
 		mq.senders.Done()
 		mq.errs.Add(1)
+		sealTrace(mq, tr, obs.OutcomeError, ErrClosed)
+		putJob(j)
 		return nil, ErrClosed
 	case <-mq.gone:
 		mq.senders.Done()
 		mq.errs.Add(1)
-		return nil, fmt.Errorf("%w: %q", ErrModelNotFound, lookupName)
+		err := fmt.Errorf("%w: %q", ErrModelNotFound, lookupName)
+		sealTrace(mq, tr, obs.OutcomeError, err)
+		putJob(j)
+		return nil, err
 	}
 	start := time.Now()
 	select {
 	case r := <-j.resp:
+		putJob(j)
 		if r.err != nil {
 			mq.errs.Add(1)
 			return nil, r.err
 		}
 		mq.requests.Add(1)
-		mq.recordLatency(float64(time.Since(start).Microseconds()))
+		mq.recordLatency(time.Since(start))
 		return r.ctr, nil
 	case <-ctx.Done():
-		// The worker may still process the job; its result is dropped.
+		// The worker may still process the job (and write into dst);
+		// its result is dropped and the job is left to the GC rather
+		// than pooled.
 		mq.errs.Add(1)
 		return nil, ctx.Err()
 	}
+}
+
+// Traces returns the retained request traces of one model ("" = the
+// default model): the N most recent and N slowest, as configured by
+// Options.TraceRing. With tracing disabled the dump is empty and
+// Enabled is false.
+func (e *Engine) Traces(name string) (obs.Dump, error) {
+	mq, err := e.lookup(name)
+	if err != nil {
+		return obs.Dump{}, err
+	}
+	d := obs.Dump{Model: mq.name, Recent: []*obs.Trace{}, Slowest: []*obs.Trace{}}
+	if mq.ring != nil {
+		d.Enabled = true
+		d.Added = mq.ring.Added()
+		d.Recent, d.Slowest = mq.ring.Snapshot()
+	}
+	return d, nil
 }
 
 // ModelStats returns the serving counters of one model.

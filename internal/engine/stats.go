@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"recsys/internal/nn"
+	"recsys/internal/obs"
 	"recsys/internal/stats"
 )
 
@@ -101,6 +102,13 @@ type counters struct {
 	// kind, in nanoseconds. Executor workers add concurrently.
 	kindNS [nKinds]atomic.Int64
 
+	// latHist and batchHist are the fixed-bucket histograms behind the
+	// /metrics exposition: cumulative (never reset), lock-free Observe,
+	// machine-readable counterparts of the percentile window and the
+	// exact BatchHist map below.
+	latHist   *obs.Histogram // request latency, nanoseconds
+	batchHist *obs.Histogram // formed-batch size, samples
+
 	latMu  sync.Mutex
 	latBuf []float64 // ring of recent request latencies (µs)
 	latPos int
@@ -110,6 +118,13 @@ type counters struct {
 	hist   map[int]int64 // formed-batch sample count → occurrences
 }
 
+// init allocates the fixed-bucket histograms; called once per model
+// queue at registration.
+func (c *counters) init() {
+	c.latHist = obs.NewHistogram(obs.LatencyBoundsNS)
+	c.batchHist = obs.NewHistogram(obs.BatchBounds)
+}
+
 // OpSpan implements model.SpanObserver: per-operator time lands in the
 // per-kind accumulators. The name is deliberately dropped — per-op
 // detail belongs to internal/profile; serving stats track kinds.
@@ -117,7 +132,9 @@ func (c *counters) OpSpan(_ string, kind nn.Kind, d time.Duration) {
 	c.kindNS[kind].Add(int64(d))
 }
 
-func (c *counters) recordLatency(us float64) {
+func (c *counters) recordLatency(d time.Duration) {
+	c.latHist.Observe(int64(d))
+	us := float64(d) / 1e3
 	c.latMu.Lock()
 	if c.latBuf == nil {
 		c.latBuf = make([]float64, latencyWindow)
@@ -133,6 +150,7 @@ func (c *counters) recordLatency(us float64) {
 func (c *counters) recordBatch(samples int) {
 	c.batches.Add(1)
 	c.samples.Add(int64(samples))
+	c.batchHist.Observe(int64(samples))
 	c.histMu.Lock()
 	if c.hist == nil {
 		c.hist = make(map[int]int64)

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-exposition (version 0.0.4) writing helpers. The
+// engine assembles GET /metrics from these instead of importing a
+// client library: the format is a dozen lines of code, the repo stays
+// dependency-free, and the output is deterministic — a requirement of
+// the golden exposition test (families and series are emitted in the
+// order the caller writes them, never map order).
+
+// Label is one name="value" pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatLabels renders {a="b",c="d"}, or "" for no labels.
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value with minimal digits.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteFamily writes the # HELP and # TYPE header of one metric
+// family. typ is "counter", "gauge", or "histogram".
+func WriteFamily(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteSample writes one sample line.
+func WriteSample(w io.Writer, name string, labels []Label, v float64) {
+	fmt.Fprintf(w, "%s%s %s\n", name, formatLabels(labels), formatValue(v))
+}
+
+// WriteIntSample writes one sample line with an integer value —
+// counters render as exact integers, not float approximations.
+func WriteIntSample(w io.Writer, name string, labels []Label, v int64) {
+	fmt.Fprintf(w, "%s%s %d\n", name, formatLabels(labels), v)
+}
+
+// WriteHistogram writes the _bucket/_sum/_count series of one
+// histogram snapshot. Bucket bounds and the sum are divided by scale
+// before rendering (e.g. scale 1e9 converts nanosecond bounds to the
+// seconds Prometheus conventions require). Bucket counts are written
+// cumulatively, ending with the mandatory le="+Inf" bucket.
+func WriteHistogram(w io.Writer, name string, labels []Label, s HistSnapshot, scale float64) {
+	cum := int64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		le := Label{Name: "le", Value: formatValue(float64(bound) / scale)}
+		WriteIntSample(w, name+"_bucket", append(append([]Label(nil), labels...), le), cum)
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	inf := Label{Name: "le", Value: "+Inf"}
+	WriteIntSample(w, name+"_bucket", append(append([]Label(nil), labels...), inf), cum)
+	WriteSample(w, name+"_sum", labels, float64(s.Sum)/scale)
+	WriteIntSample(w, name+"_count", labels, s.Count)
+}

@@ -1,0 +1,94 @@
+package obs
+
+import "sync"
+
+// Ring retains two views of a trace stream: the N most recent traces
+// (a circular buffer) and the N slowest by TotalUS (a small sorted
+// board). Recent answers "what is the engine doing right now";
+// slowest answers "where did my p99 go" — the two questions the
+// paper's tail-latency methodology (§VII) asks of production traces.
+//
+// Add and Snapshot are safe for concurrent use. Traces handed to Add
+// must not be mutated afterwards.
+type Ring struct {
+	mu sync.Mutex
+
+	recent []*Trace // circular, recent[pos] is the next write slot
+	pos    int
+	filled int
+
+	slow []*Trace // sorted by TotalUS descending, ≤ cap(slow) entries
+
+	added int64 // total traces ever added
+}
+
+// NewRing returns a ring retaining the n most recent and n slowest
+// traces. n ≤ 0 returns nil — the disabled-tracing sentinel callers
+// test with ring == nil.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		return nil
+	}
+	return &Ring{
+		recent: make([]*Trace, n),
+		slow:   make([]*Trace, 0, n),
+	}
+}
+
+// Add records one completed trace in both views.
+func (r *Ring) Add(t *Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.added++
+	r.recent[r.pos] = t
+	r.pos = (r.pos + 1) % len(r.recent)
+	if r.filled < len(r.recent) {
+		r.filled++
+	}
+	// Slowest board: insert while below capacity, otherwise displace
+	// the fastest resident. Insertion sort on a handful of entries.
+	if len(r.slow) < cap(r.slow) {
+		r.slow = append(r.slow, t)
+	} else if t.TotalUS > r.slow[len(r.slow)-1].TotalUS {
+		r.slow[len(r.slow)-1] = t
+	} else {
+		return
+	}
+	for i := len(r.slow) - 1; i > 0 && r.slow[i].TotalUS > r.slow[i-1].TotalUS; i-- {
+		r.slow[i], r.slow[i-1] = r.slow[i-1], r.slow[i]
+	}
+}
+
+// Added returns the total number of traces ever recorded.
+func (r *Ring) Added() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.added
+}
+
+// Snapshot returns the retained traces: recent newest-first, slowest
+// by descending TotalUS. The returned slices are fresh; the traces
+// they point at are immutable.
+func (r *Ring) Snapshot() (recent, slowest []*Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	recent = make([]*Trace, 0, r.filled)
+	for i := 1; i <= r.filled; i++ {
+		recent = append(recent, r.recent[(r.pos-i+len(r.recent))%len(r.recent)])
+	}
+	slowest = append(make([]*Trace, 0, len(r.slow)), r.slow...)
+	return recent, slowest
+}
+
+// Dump is the JSON shape of GET /trace/{model}: both retained views of
+// one model's trace ring.
+type Dump struct {
+	Model string `json:"model"`
+	// Enabled reports whether the engine is tracing at all (a ring was
+	// configured).
+	Enabled bool `json:"enabled"`
+	// Added is the total number of traces recorded since registration.
+	Added   int64    `json:"added"`
+	Recent  []*Trace `json:"recent"`
+	Slowest []*Trace `json:"slowest"`
+}

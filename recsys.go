@@ -22,6 +22,9 @@
 //     (internal/server).
 //   - Sparse-ID trace generation for embedding-locality studies
 //     (internal/trace).
+//   - Serving observability: per-request lifecycle traces and
+//     Prometheus-format metrics from the concurrent engine
+//     (internal/obs; ServeTrace, ServeEngine.WriteMetrics).
 //
 // Every experiment in the paper's evaluation can be regenerated with
 // cmd/reproduce; see DESIGN.md for the experiment index.
@@ -37,6 +40,7 @@ import (
 	"recsys/internal/engine"
 	"recsys/internal/model"
 	"recsys/internal/nn"
+	"recsys/internal/obs"
 	"recsys/internal/perf"
 	"recsys/internal/profile"
 	"recsys/internal/rank"
@@ -223,6 +227,14 @@ type (
 	ServeModelOptions = engine.ModelOptions
 	// ServeStats are cumulative per-model serving counters.
 	ServeStats = engine.Stats
+	// ServeTrace is one request's lifecycle trace (validate,
+	// queue-wait, batch-form, execute stage times plus per-operator
+	// spans), retained when ServeOptions.TraceRing > 0.
+	ServeTrace = obs.Trace
+	// ServeTraceDump is the retained-trace snapshot returned by
+	// ServeEngine.Traces and GET /trace/{model}: the N slowest and N
+	// most recent traces.
+	ServeTraceDump = obs.Dump
 )
 
 // Serving entry points.
