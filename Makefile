@@ -30,9 +30,10 @@ lint: vet
 
 # The hot-path packages carry the bit-identity and zero-alloc
 # contracts; run them under the race detector too (nn holds the
-# ShardGroup-based ParallelSLS fan-out).
+# ShardGroup-based ParallelSLS fan-out, embcache the lock-striped
+# hot-row cache consulted by every planned gather).
 race:
-	$(GO) test -race ./internal/engine ./internal/tensor ./internal/nn
+	$(GO) test -race ./internal/engine ./internal/tensor ./internal/nn ./internal/embcache
 
 # Tier-1 verify recipe (see ROADMAP.md).
 verify: fmt-check build test lint race

@@ -64,6 +64,16 @@ func regressionCases() []benchCase {
 			run: func(b *testing.B) { benchmarkForwardHot(b, model.RMC1Small().Scaled(10), 16, 1) }},
 		{name: "engine_rank_b16", zeroAlloc: true,
 			run: func(b *testing.B) { benchmarkEngineRank(b, 16) }},
+		// The locality-aware gather: dedup plan + 5%-of-rows hot-row
+		// cache on Zipf(1.1) traffic, and the cached end-to-end
+		// lifecycle; both carry the zero-alloc contract with the cache
+		// on.
+		{name: "sls_gather_zipf_b64", zeroAlloc: true,
+			run: func(b *testing.B) {
+				benchmarkSLSGather(b, slsGatherBench{s: 1.1, cacheRows: 5000, policy: "clock"})
+			}},
+		{name: "engine_rank_zipf_b16", zeroAlloc: true,
+			run: func(b *testing.B) { benchmarkEngineRankZipf(b, 16) }},
 	}
 }
 

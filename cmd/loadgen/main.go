@@ -6,11 +6,19 @@
 //
 //	loadgen -model rmc2 -machine Skylake -workers 8 -qps 2000 -sla 10ms
 //	loadgen -real -model rmc1 -scale 500 -qps 2000 -requests 5000
+//	loadgen -real -model rmc1 -zipf 1.1 -emb-cache 4096 -requests 5000
 //
 // With -real, loadgen builds the model and drives the real concurrent
 // engine in-process instead of the discrete-event simulator: measured
 // wall-clock latencies, formed-batch histogram, and per-operator time
 // from the instrumented forward pass.
+//
+// -zipf s (real mode) draws sparse IDs from a per-table Zipf(s)
+// generator instead of uniform (0 keeps uniform) and reports the
+// achieved unique-ID fraction — the locality axis of the paper's
+// Fig. 14. -emb-cache N attaches the engine's hot-row cache and
+// reports its hit rates, so the two flags together sweep cache
+// effectiveness against traffic skew.
 package main
 
 import (
@@ -48,6 +56,9 @@ func main() {
 		real        = flag.Bool("real", false, "drive the real in-process engine instead of the simulator")
 		scale       = flag.Int("scale", 100, "embedding-table shrink factor in -real mode")
 		traceOn     = flag.Bool("trace", false, "in -real mode, trace requests and print the slowest request's per-stage breakdown")
+		zipfS       = flag.Float64("zipf", 0, "in -real mode, draw sparse IDs from a per-table Zipf(s) generator (0 = uniform)")
+		embCache    = flag.Int("emb-cache", 0, "in -real mode, hot embedding rows cached per table (0 = off)")
+		embPolicy   = flag.String("emb-cache-policy", "lru", "emb-cache eviction policy: lru, fifo, or clock")
 	)
 	flag.Parse()
 
@@ -66,11 +77,15 @@ func main() {
 		os.Exit(1)
 	}
 	if *real {
-		runReal(cfg, *scale, *batch, *workers, *qps, *requests, *sla, *seed, *maxBatch, *maxWait, *traceOn)
+		runReal(cfg, *scale, *batch, *workers, *qps, *requests, *sla, *seed, *maxBatch, *maxWait, *traceOn, *zipfS, *embCache, *embPolicy)
 		return
 	}
 	if *traceOn {
 		fmt.Fprintln(os.Stderr, "loadgen: -trace requires -real (the simulator has no request traces)")
+		os.Exit(1)
+	}
+	if *zipfS != 0 || *embCache != 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -zipf and -emb-cache require -real (the simulator has no embedding rows)")
 		os.Exit(1)
 	}
 
@@ -116,7 +131,7 @@ func main() {
 // runReal drives the real concurrent engine with Poisson-paced
 // requests and reports measured latency, the formed-batch histogram,
 // and the per-operator time split from the instrumented forward pass.
-func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests int, sla time.Duration, seed uint64, maxBatch int, maxWait time.Duration, traceOn bool) {
+func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests int, sla time.Duration, seed uint64, maxBatch int, maxWait time.Duration, traceOn bool, zipfS float64, embCache int, embPolicy string) {
 	if scale > 1 {
 		cfg = cfg.Scaled(scale)
 	}
@@ -134,6 +149,7 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 		QueueDepth: 4 * workers * maxBatch,
 		MaxBatch:   maxBatch,
 		MaxWait:    maxWait,
+		EmbCache:   engine.EmbCacheOptions{RowsPerTable: embCache, Policy: embPolicy},
 	}
 	if traceOn {
 		opts.TraceRing = 16
@@ -144,8 +160,23 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 		os.Exit(1)
 	}
 
-	fmt.Printf("%s real engine  batch=%d workers=%d offered=%.0f QPS  coalesce<=%d wait<=%v  SLA=%v\n\n",
-		cfg.Name, batch, workers, qps, maxBatch, maxWait, sla)
+	// Per-table sparse-ID generators (Zipf skew or uniform) plus unique
+	// tracking, so the achieved unique-ID fraction of the offered
+	// traffic is reported alongside the latency numbers.
+	idGens := make([]trace.IDGenerator, len(cfg.Tables))
+	seen := make([]map[int]struct{}, len(cfg.Tables))
+	for i, tb := range cfg.Tables {
+		if zipfS == 0 {
+			idGens[i] = trace.NewUniform(tb.Rows, rng.Split())
+		} else {
+			idGens[i] = trace.NewZipfian(tb.Rows, zipfS, rng.Split())
+		}
+		seen[i] = make(map[int]struct{})
+	}
+	drawn := make([]int, len(cfg.Tables))
+
+	fmt.Printf("%s real engine  batch=%d workers=%d offered=%.0f QPS  coalesce<=%d wait<=%v  SLA=%v  ids=%s\n\n",
+		cfg.Name, batch, workers, qps, maxBatch, maxWait, sla, idGens[0].Name())
 	gen := trace.NewLoadGenerator(qps, batch, rng.Split())
 	arrivals := gen.Take(requests)
 	lat := stats.NewSample(requests)
@@ -159,6 +190,13 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 			time.Sleep(d)
 		}
 		req := model.NewRandomRequest(cfg, batch, rng)
+		for t := range idGens {
+			idGens[t].Fill(req.SparseIDs[t])
+			for _, id := range req.SparseIDs[t] {
+				seen[t][id] = struct{}{}
+			}
+			drawn[t] += len(req.SparseIDs[t])
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -209,6 +247,21 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 		sort.Strings(kinds)
 		for _, k := range kinds {
 			fmt.Printf("  %-18s %10.0fµs  (%.1f%%)\n", k, st.KindUS[k], 100*st.KindUS[k]/total)
+		}
+	}
+
+	var uniq, totalIDs int
+	for t := range seen {
+		uniq += len(seen[t])
+		totalIDs += drawn[t]
+	}
+	fmt.Printf("\nsparse IDs (%s): achieved unique-ID fraction %.1f%% (%d unique of %d drawn across %d tables)\n",
+		idGens[0].Name(), 100*float64(uniq)/float64(totalIDs), uniq, totalIDs, len(seen))
+	if len(st.EmbCache) > 0 {
+		fmt.Println("embedding hot-row cache:")
+		for _, ec := range st.EmbCache {
+			fmt.Printf("  table %d: cap %5d rows  hit rate %5.1f%%  (%d hits, %d misses, %d evictions)\n",
+				ec.Table, ec.Capacity, 100*ec.HitRate, ec.Hits, ec.Misses, ec.Evictions)
 		}
 	}
 	if traceOn {

@@ -10,6 +10,14 @@
 //	recbench -model rmc2                      # a Table I class
 //	recbench -tables 8 -rows 1e6 -lookups 32  # a custom model
 //	recbench -model rmc3 -machine Skylake -batch 128 -tenants 4
+//	recbench -model rmc2-int8 -measure -zipf 1.1 -emb-cache 4096
+//
+// With -measure, an "-int8" preset suffix serves row-wise quantized
+// embedding tables, -zipf s draws sparse IDs from a per-table Zipf(s)
+// generator (fresh draw every pass; 0 = uniform), and -emb-cache N
+// attaches a read-through hot-row cache of N rows per table and
+// reports its hit rates — the measurement harness behind the cache
+// experiments in EXPERIMENTS.md.
 package main
 
 import (
@@ -22,15 +30,17 @@ import (
 	"time"
 
 	"recsys/internal/arch"
+	"recsys/internal/embcache"
 	"recsys/internal/model"
 	"recsys/internal/perf"
 	"recsys/internal/stats"
 	"recsys/internal/tensor"
+	"recsys/internal/trace"
 )
 
 func main() {
 	var (
-		preset      = flag.String("model", "", "preset: rmc1, rmc1-large, rmc2, rmc2-large, rmc3, rmc3-large, ncf (overrides custom knobs)")
+		preset      = flag.String("model", "", "preset: rmc1, rmc1-large, rmc2, rmc2-large, rmc3, rmc3-large, ncf, optionally with an -int8 suffix (overrides custom knobs)")
 		configPath  = flag.String("config", "", "JSON model-config file (overrides preset and custom knobs)")
 		saveConfig  = flag.String("save-config", "", "write the resolved config as JSON and exit")
 		machineName = flag.String("machine", "Broadwell", "Haswell, Broadwell, or Skylake")
@@ -42,6 +52,9 @@ func main() {
 		measureIters = flag.Int("measure-iters", 200, "measured forward passes after warmup")
 		measureScale = flag.Int("measure-scale", 100, "embedding-table shrink factor for -measure")
 		intraOp      = flag.Int("intra-op", 1, "goroutines per measured forward pass (0 = GOMAXPROCS)")
+		zipfS        = flag.Float64("zipf", 0, "with -measure, draw sparse IDs from a per-table Zipf(s) generator (0 = uniform)")
+		embCache     = flag.Int("emb-cache", 0, "with -measure, hot embedding rows cached per table (0 = off)")
+		embPolicy    = flag.String("emb-cache-policy", "lru", "emb-cache eviction policy: lru, fifo, clock, or direct")
 
 		dense    = flag.Int("dense", 13, "custom: dense input features")
 		bottom   = flag.String("bottom", "256-128-32", "custom: Bottom-MLP widths")
@@ -54,15 +67,23 @@ func main() {
 	)
 	flag.Parse()
 
+	// An "-int8" preset suffix (e.g. rmc2-int8) requests row-wise
+	// int8-quantized embedding tables on the measured path.
+	presetBase, int8Tables := strings.CutSuffix(strings.ToLower(*preset), "-int8")
 	var cfg model.Config
 	var err error
 	if *configPath != "" {
 		cfg, err = model.LoadConfig(*configPath)
+		int8Tables = false
 	} else {
-		cfg, err = resolveConfig(*preset, *dense, *bottom, *top, *tables, int(*rows), *dim, *lookups, *interact)
+		cfg, err = resolveConfig(presetBase, *dense, *bottom, *top, *tables, int(*rows), *dim, *lookups, *interact)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if (int8Tables || *zipfS != 0 || *embCache != 0) && !*measure {
+		fmt.Fprintln(os.Stderr, "recbench: -int8 presets, -zipf, and -emb-cache require -measure (the analytic model is fp32/uniform)")
 		os.Exit(1)
 	}
 	if *saveConfig != "" {
@@ -74,7 +95,7 @@ func main() {
 		return
 	}
 	if *measure {
-		if err := runMeasure(cfg, *batch, *measureScale, *measureIters, *intraOp); err != nil {
+		if err := runMeasure(cfg, *batch, *measureScale, *measureIters, *intraOp, int8Tables, *zipfS, *embCache, *embPolicy); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -101,7 +122,7 @@ func main() {
 // machine (as opposed to the analytic cycle model) and reports the
 // measured latency distribution — the same hot path cmd/serve runs,
 // so the -intra-op knob here mirrors engine.Options.IntraOpWorkers.
-func runMeasure(cfg model.Config, batch, scale, iters, intraOp int) error {
+func runMeasure(cfg model.Config, batch, scale, iters, intraOp int, int8Tables bool, zipfS float64, embCacheRows int, embPolicy string) error {
 	if iters < 1 {
 		return fmt.Errorf("recbench: -measure-iters must be >= 1, got %d", iters)
 	}
@@ -112,17 +133,57 @@ func runMeasure(cfg model.Config, batch, scale, iters, intraOp int) error {
 	if err != nil {
 		return err
 	}
+	if int8Tables {
+		m.QuantizeTables()
+	}
+	var caches []*embcache.Concurrent
+	if embCacheRows > 0 {
+		for _, op := range m.SLS {
+			rows := embCacheRows
+			if rows > op.Table.Rows {
+				rows = op.Table.Rows
+			}
+			c, err := embcache.NewConcurrent(rows, op.Table.Cols, embPolicy, 0)
+			if err != nil {
+				return err
+			}
+			op.SetRowCache(c)
+			caches = append(caches, c)
+		}
+	}
+	// With skewed or cached sparse traffic a fixed request would turn
+	// into a pure-hit replay after the first pass; refill the IDs from
+	// the generators before every pass instead (the fill is noise next
+	// to the forward itself).
+	var idGens []trace.IDGenerator
+	if zipfS != 0 || embCacheRows > 0 {
+		rng := stats.NewRNG(3)
+		for _, tb := range cfg.Tables {
+			if zipfS == 0 {
+				idGens = append(idGens, trace.NewUniform(tb.Rows, rng.Split()))
+			} else {
+				idGens = append(idGens, trace.NewZipfian(tb.Rows, zipfS, rng.Split()))
+			}
+		}
+	}
 	req := model.NewRandomRequest(cfg, batch, stats.NewRNG(2))
+	refill := func() {
+		for t, g := range idGens {
+			g.Fill(req.SparseIDs[t])
+		}
+	}
 	arena := tensor.NewArena()
 	// Warmup: packs FC weights, grows the arena to its steady-state
 	// working set, and lets the measured loop run allocation-free.
 	for i := 0; i < 3; i++ {
+		refill()
 		arena.Reset()
 		m.ForwardEx(req, arena, intraOp)
 	}
 	lat := make([]float64, 0, iters)
 	start := time.Now()
 	for i := 0; i < iters; i++ {
+		refill()
 		t0 := time.Now()
 		arena.Reset()
 		m.ForwardEx(req, arena, intraOp)
@@ -131,12 +192,25 @@ func runMeasure(cfg model.Config, batch, scale, iters, intraOp int) error {
 	total := time.Since(start)
 	sample := stats.NewSample(len(lat))
 	sample.AddAll(lat)
-	fmt.Printf("%s measured on this host  batch=%d scale=%d intra-op=%d iters=%d\n",
-		cfg.Name, batch, scale, intraOp, iters)
+	tableKind := "fp32"
+	if int8Tables {
+		tableKind = "int8"
+	}
+	idKind := "fixed-uniform"
+	if len(idGens) > 0 {
+		idKind = idGens[0].Name()
+	}
+	fmt.Printf("%s measured on this host  batch=%d scale=%d intra-op=%d iters=%d tables=%s ids=%s\n",
+		cfg.Name, batch, scale, intraOp, iters, tableKind, idKind)
 	fmt.Printf("p50 %.1fµs  p95 %.1fµs  p99 %.1fµs  mean %.1fµs\n",
 		sample.Percentile(50), sample.Percentile(95), sample.Percentile(99),
 		float64(total.Microseconds())/float64(iters))
 	fmt.Printf("throughput: %.0f items/s\n", float64(batch*iters)/total.Seconds())
+	for i, c := range caches {
+		ls := c.Stats()
+		fmt.Printf("emb-cache table %d: cap %d rows  hit rate %.1f%%  (%d hits, %d misses, %d evictions)\n",
+			i, c.Capacity(), 100*ls.HitRate(), ls.Hits, ls.Misses, ls.Evictions)
+	}
 	return nil
 }
 

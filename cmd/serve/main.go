@@ -24,6 +24,12 @@
 // per-operator spans), served as JSON by GET /trace/{model}. -pprof
 // additionally mounts net/http/pprof under /debug/pprof/.
 //
+// -emb-cache N attaches a read-through hot-row cache of N rows per
+// embedding table (eviction policy via -emb-cache-policy); hit/miss/
+// eviction counters appear in GET /stats and /metrics. A preset with
+// an "-int8" suffix (e.g. rmc2-int8) serves row-wise int8-quantized
+// embedding tables, where the cache also amortizes dequantization.
+//
 // On SIGINT/SIGTERM, serve stops accepting connections, waits up to
 // -drain for in-flight requests, then drains the engine and exits.
 package main
@@ -72,6 +78,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "weight seed for presets")
 		traceRing  = flag.Int("trace", 0, "retain N slowest + N most recent request traces per model (GET /trace/{model}; 0 = off)")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		embCache   = flag.Int("emb-cache", 0, "hot embedding rows cached per table (read-through, generation-invalidated; 0 = off)")
+		embPolicy  = flag.String("emb-cache-policy", "lru", "emb-cache eviction policy: lru, fifo, clock, or direct")
 	)
 	flag.Var(&specs, "model",
 		"model to serve, name=preset[:scale][@weight] (repeatable; bare preset = single model)")
@@ -84,6 +92,10 @@ func main() {
 		MaxWait:        *maxWait,
 		IntraOpWorkers: *intraOp,
 		TraceRing:      *traceRing,
+		EmbCache: engine.EmbCacheOptions{
+			RowsPerTable: *embCache,
+			Policy:       *embPolicy,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -207,8 +219,12 @@ func buildSpec(spec string, defaultScale int, rng *stats.RNG) (name string, m *m
 		}
 		rest = rest[:colon]
 	}
+	// An "-int8" suffix (e.g. rmc2-int8) serves the preset with
+	// row-wise int8-quantized embedding tables (§ memory-capacity
+	// pressure; fp32 weights are retained as the source of truth).
+	base, int8Tables := strings.CutSuffix(strings.ToLower(rest), "-int8")
 	var cfg model.Config
-	switch strings.ToLower(rest) {
+	switch base {
 	case "rmc1":
 		cfg = model.RMC1Small()
 	case "rmc2":
@@ -226,6 +242,9 @@ func buildSpec(spec string, defaultScale int, rng *stats.RNG) (name string, m *m
 	m, err = model.Build(cfg, rng)
 	if err != nil {
 		return "", nil, 0, err
+	}
+	if int8Tables {
+		m.QuantizeTables()
 	}
 	return name, m, weight, nil
 }

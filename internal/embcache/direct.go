@@ -1,0 +1,132 @@
+package embcache
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// directCache is the "direct" eviction policy: a direct-mapped slot
+// array with per-slot seqlocks instead of the sharded map + recency
+// list the other policies use. Each row ID hashes to exactly one slot;
+// an insert overwrites whatever lives there. That makes the policy
+// scan-resistant where LRU/FIFO/CLOCK collapse: a sorted gather plan
+// sweeping a working set larger than the cache evicts the recency
+// list's entire contents every pass (measured 0% hits), while a cold
+// row here can only displace its own slot — hot rows in other slots
+// survive the sweep and keep hitting.
+//
+// It is also the cheapest policy per access, which matters because the
+// thing a hit saves (one row dequantization, ~100ns) is itself cheap:
+// no map lookup, no list splice, and no mutex. Readers run the seqlock
+// protocol — load the slot version, copy the row, re-check the version
+// — and treat any torn or concurrent access as a miss, which
+// read-through semantics make safe: the caller just fetches from the
+// table. Row words are stored as packed pairs of float32 in
+// atomic.Uint64s so the unsynchronized-looking copy is data-race-free
+// under the Go memory model.
+type directCache struct {
+	cols  int
+	words int // packed uint64 words per row: ceil(cols/2)
+	slots int
+
+	// ver is the per-slot seqlock: odd while a writer is mid-update,
+	// bumped by two when the update lands. gens/ids describe the
+	// resident row; gens is initialized to an unreachable generation so
+	// empty slots can never false-hit.
+	ver  []atomic.Uint32
+	gens []atomic.Uint64
+	ids  []atomic.Uint64
+	data []atomic.Uint64
+
+	hits, misses, evictions atomic.Int64
+}
+
+// noGen marks a slot that has never been written: the live generation
+// counter starts at zero and only increments, so it can never collide.
+const noGen = ^uint64(0)
+
+func newDirect(capacity, cols int) *directCache {
+	d := &directCache{
+		cols:  cols,
+		words: (cols + 1) / 2,
+		slots: capacity,
+	}
+	d.ver = make([]atomic.Uint32, capacity)
+	d.gens = make([]atomic.Uint64, capacity)
+	d.ids = make([]atomic.Uint64, capacity)
+	d.data = make([]atomic.Uint64, capacity*d.words)
+	for i := range d.gens {
+		d.gens[i].Store(noGen)
+	}
+	return d
+}
+
+// slot maps a row ID to its one slot: fibonacci-mix the ID, then a
+// multiply-shift range reduction (no modulo, works for any capacity,
+// so a "5% of rows" capacity stays exactly that).
+func (d *directCache) slot(id uint64) int {
+	h := id * fibMix
+	return int((h >> 32 * uint64(d.slots)) >> 32)
+}
+
+func (d *directCache) lookup(gen, id uint64, dst []float32) bool {
+	s := d.slot(id)
+	v := d.ver[s].Load()
+	if v&1 != 0 || d.ids[s].Load() != id || d.gens[s].Load() != gen {
+		d.misses.Add(1)
+		return false
+	}
+	base := s * d.words
+	for w := 0; w < d.words; w++ {
+		bits := d.data[base+w].Load()
+		dst[2*w] = math.Float32frombits(uint32(bits))
+		if 2*w+1 < d.cols {
+			dst[2*w+1] = math.Float32frombits(uint32(bits >> 32))
+		}
+	}
+	// The version re-check validates everything read above: if a writer
+	// landed (or is mid-flight) since the first load, report a miss and
+	// let the caller read the table instead.
+	if d.ver[s].Load() != v {
+		d.misses.Add(1)
+		return false
+	}
+	d.hits.Add(1)
+	return true
+}
+
+func (d *directCache) insert(gen, id uint64, src []float32) {
+	s := d.slot(id)
+	v := d.ver[s].Load()
+	// A concurrent writer owns the slot: drop this insert rather than
+	// spin — a duplicate fill writes the same bytes and the next miss
+	// re-inserts anyway.
+	if v&1 != 0 || !d.ver[s].CompareAndSwap(v, v+1) {
+		return
+	}
+	if d.gens[s].Load() == gen && d.ids[s].Load() != id {
+		d.evictions.Add(1)
+	}
+	d.ids[s].Store(id)
+	d.gens[s].Store(gen)
+	base := s * d.words
+	for w := 0; w < d.words; w++ {
+		bits := uint64(math.Float32bits(src[2*w]))
+		if 2*w+1 < d.cols {
+			bits |= uint64(math.Float32bits(src[2*w+1])) << 32
+		}
+		d.data[base+w].Store(bits)
+	}
+	d.ver[s].Store(v + 2)
+}
+
+// len counts rows resident at generation cur.
+func (d *directCache) len(cur uint64) int {
+	n := 0
+	for i := range d.gens {
+		if d.gens[i].Load() == cur {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,281 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"recsys/internal/model"
+	"recsys/internal/stats"
+	"recsys/internal/trace"
+)
+
+// cacheOpts is the deterministic single-worker engine configuration
+// the equivalence tests run under, with the hot-row cache on.
+func cacheOpts(rowsPerTable int) Options {
+	return Options{
+		Workers: 2, QueueDepth: 32, MaxBatch: 8,
+		MaxWait: 200 * time.Microsecond, IntraOpWorkers: 1,
+		EmbCache: EmbCacheOptions{RowsPerTable: rowsPerTable, Policy: "lru"},
+	}
+}
+
+// genRequest draws one request with generator-driven sparse IDs (one
+// generator per table) and random dense features.
+func genRequest(cfg model.Config, batch int, gens []trace.IDGenerator, rng *stats.RNG) model.Request {
+	req := model.NewRandomRequest(cfg, batch, rng)
+	for t, g := range gens {
+		g.Fill(req.SparseIDs[t])
+	}
+	return req
+}
+
+func tableGens(cfg model.Config, s float64, rng *stats.RNG) []trace.IDGenerator {
+	gens := make([]trace.IDGenerator, len(cfg.Tables))
+	for i, tb := range cfg.Tables {
+		if s == 0 {
+			gens[i] = trace.NewUniform(tb.Rows, rng.Split())
+		} else {
+			gens[i] = trace.NewZipfian(tb.Rows, s, rng.Split())
+		}
+	}
+	return gens
+}
+
+func f32Equal(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEmbCacheEquivalence: with dedup + cache on, engine output must
+// be bit-identical to the model's naive plan-free Forward across
+// uniform and Zipf traffic, and stay so after a hot swap (a stale
+// cached row from the old model would break identity).
+func TestEmbCacheEquivalence(t *testing.T) {
+	cfg := model.RMC1Small().Scaled(500)
+	e := testEngine(t, cacheOpts(32)) // 32 < 120 rows: real evictions
+	m := buildModel(t, cfg, 1)
+	if err := e.Register("m", m, ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(21)
+	ctx := context.Background()
+	for _, s := range []float64{0, 0.8, 1.1} {
+		gens := tableGens(cfg, s, rng)
+		for i := 0; i < 8; i++ {
+			req := genRequest(cfg, 4, gens, rng)
+			got, err := e.Rank(ctx, "m", req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := m.Forward(req).Data()
+			if !f32Equal(got, want) {
+				t.Fatalf("zipf=%.1f req %d: cached engine output differs from naive forward", s, i)
+			}
+		}
+	}
+
+	// Hot swap to fresh weights: the cache is warm with the old
+	// model's rows; generation invalidation must keep them unservable.
+	next := buildModel(t, cfg, 2)
+	if err := e.Swap("m", next); err != nil {
+		t.Fatal(err)
+	}
+	gens := tableGens(cfg, 1.1, rng)
+	for i := 0; i < 8; i++ {
+		req := genRequest(cfg, 4, gens, rng)
+		got, err := e.Rank(ctx, "m", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := next.Forward(req).Data(); !f32Equal(got, want) {
+			t.Fatalf("post-swap req %d: output differs from swapped-in model (stale cache row?)", i)
+		}
+	}
+}
+
+// TestEmbCacheQuantEquivalence runs an int8 model through the cached
+// engine: output must match the model's naive per-occurrence dequant
+// reference bit for bit (cached dequantized rows are byte-copies of
+// deterministic dequantization).
+func TestEmbCacheQuantEquivalence(t *testing.T) {
+	cfg := model.RMC1Small().Scaled(500)
+	e := testEngine(t, cacheOpts(48))
+	m := buildModel(t, cfg, 3).QuantizeTables()
+	if err := e.Register("q", m, ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(22)
+	ctx := context.Background()
+	gens := tableGens(cfg, 1.1, rng)
+	for i := 0; i < 10; i++ {
+		req := genRequest(cfg, 4, gens, rng)
+		got, err := e.Rank(ctx, "q", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := m.Forward(req).Data(); !f32Equal(got, want) {
+			t.Fatalf("req %d: cached int8 engine output differs from naive dequant", i)
+		}
+	}
+}
+
+// TestEmbCacheSwapRace hammers Rank with Zipf traffic while the model
+// hot-swaps back and forth. Every result must bit-match one of the two
+// models' naive reference outputs — a cache row served across a
+// generation (stale weights leaking into a fresh pass) would match
+// neither. Run under -race this also exercises the attach/invalidate/
+// store protocol against concurrent forwards.
+func TestEmbCacheSwapRace(t *testing.T) {
+	cfg := model.RMC1Small().Scaled(500)
+	e := testEngine(t, cacheOpts(32))
+	mA := buildModel(t, cfg, 4)
+	mB := buildModel(t, cfg, 5)
+	if err := e.Register("m", mA, ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fixed request set with precomputed per-model references.
+	rng := stats.NewRNG(23)
+	gens := tableGens(cfg, 1.1, rng)
+	const nReq = 16
+	reqs := make([]model.Request, nReq)
+	refA := make([][]float32, nReq)
+	refB := make([][]float32, nReq)
+	for k := range reqs {
+		reqs[k] = genRequest(cfg, 2, gens, rng)
+		refA[k] = append([]float32(nil), mA.Forward(reqs[k]).Data()...)
+		refB[k] = append([]float32(nil), mB.Forward(reqs[k]).Data()...)
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := stats.NewRNG(seed)
+			for i := 0; i < 200; i++ {
+				k := r.Intn(nReq)
+				got, err := e.Rank(ctx, "m", reqs[k])
+				if err != nil {
+					t.Errorf("rank: %v", err)
+					return
+				}
+				if !f32Equal(got, refA[k]) && !f32Equal(got, refB[k]) {
+					t.Errorf("req %d: output matches neither model — stale cache row served", k)
+					return
+				}
+			}
+		}(uint64(w) + 100)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			m := mB
+			if i%2 == 1 {
+				m = mA
+			}
+			if err := e.Swap("m", m); err != nil {
+				t.Errorf("swap: %v", err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+}
+
+// TestEmbCacheStatsAndMetrics checks the observability surface:
+// Stats.EmbCache carries per-table counters, the aggregate view merges
+// them, and /metrics exposes the five embcache families.
+func TestEmbCacheStatsAndMetrics(t *testing.T) {
+	cfg := model.RMC1Small().Scaled(500)
+	// RowsPerTable above the 120-row tables: capacity clamps to the
+	// table size, every row stays resident after the first pass, and
+	// hits are guaranteed. (An undersized LRU over these tiny tables
+	// would scan-thrash: each pass walks ~110 unique rows in sorted
+	// order, evicting every row before its next use — see DESIGN.md.)
+	opts := cacheOpts(200)
+	opts.EmbCache.Shards = 1 // capacity == clamped request, no round-up
+	e := testEngine(t, opts)
+	m := buildModel(t, cfg, 6)
+	if err := e.Register("m", m, ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(24)
+	gens := tableGens(cfg, 1.1, rng)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := e.Rank(ctx, "m", genRequest(cfg, 4, gens, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := e.ModelStats("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.EmbCache) != len(cfg.Tables) {
+		t.Fatalf("EmbCache entries = %d, want %d", len(st.EmbCache), len(cfg.Tables))
+	}
+	for _, ec := range st.EmbCache {
+		if ec.Capacity != 120 {
+			t.Errorf("table %d capacity = %d, want 120 (clamped to table rows)", ec.Table, ec.Capacity)
+		}
+		if ec.Hits+ec.Misses == 0 {
+			t.Errorf("table %d: no accesses recorded", ec.Table)
+		}
+		if ec.Hits == 0 {
+			t.Errorf("table %d: zipf(1.1) traffic should produce hits", ec.Table)
+		}
+		if ec.HitRate <= 0 || ec.HitRate >= 1 {
+			t.Errorf("table %d hit rate = %v, want in (0,1)", ec.Table, ec.HitRate)
+		}
+	}
+	agg := e.AggregateStats()
+	if len(agg.EmbCache) != len(st.EmbCache) {
+		t.Fatalf("aggregate EmbCache entries = %d, want %d", len(agg.EmbCache), len(st.EmbCache))
+	}
+	if agg.EmbCache[0].Hits != st.EmbCache[0].Hits {
+		t.Error("aggregate lost per-table hit counts")
+	}
+
+	var sb strings.Builder
+	e.WriteMetrics(&sb)
+	exposition := sb.String()
+	for _, fam := range []string{
+		"recsys_embcache_capacity_rows",
+		"recsys_embcache_hits_total",
+		"recsys_embcache_misses_total",
+		"recsys_embcache_evictions_total",
+		"recsys_embcache_hit_ratio",
+	} {
+		if !strings.Contains(exposition, fam+`{model="m",table="0"}`) {
+			t.Errorf("/metrics missing %s series", fam)
+		}
+	}
+}
+
+// TestEmbCacheOptionValidation: bad cache options fail at engine
+// construction, not first lookup.
+func TestEmbCacheOptionValidation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.EmbCache = EmbCacheOptions{RowsPerTable: 64, Policy: "arc"}
+	if _, err := NewEngine(opts); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	opts.EmbCache = EmbCacheOptions{RowsPerTable: -1}
+	if _, err := NewEngine(opts); err == nil {
+		t.Error("negative RowsPerTable accepted")
+	}
+}

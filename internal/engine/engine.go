@@ -55,7 +55,33 @@ type Options struct {
 	// GET /trace/{model} and Engine.Traces. 0 disables tracing — the
 	// hot path then performs no trace clock reads or allocations.
 	TraceRing int
+	// EmbCache configures the per-model, per-table read-through
+	// embedding hot-row cache consulted by the SLS gather. The zero
+	// value disables it; fp32 cache-off serving keeps the direct gather
+	// path.
+	EmbCache EmbCacheOptions
 }
+
+// EmbCacheOptions sizes the embedding hot-row cache (the serving-path
+// exploitation of the paper's Figure 14/15 sparse-ID locality). When
+// enabled, every registered model gets one sharded embcache.Concurrent
+// per embedding table, attached before the model is published and
+// invalidated on hot swap; the per-table hit/miss/evict counters land
+// in Stats.EmbCache and the /metrics exposition.
+type EmbCacheOptions struct {
+	// RowsPerTable is the cache capacity in rows per table, clamped to
+	// the table's row count. 0 disables the cache.
+	RowsPerTable int
+	// Policy selects the eviction policy: "lru" (default), "fifo", or
+	// "clock".
+	Policy string
+	// Shards overrides the lock-stripe count (0 = derived from
+	// GOMAXPROCS, capped at 16, rounded up to a power of two).
+	Shards int
+}
+
+// Enabled reports whether the cache is configured on.
+func (o EmbCacheOptions) Enabled() bool { return o.RowsPerTable > 0 }
 
 // DefaultOptions returns a 4-worker engine with moderate batching.
 func DefaultOptions() Options {

@@ -117,6 +117,9 @@ func statsJSON(st Stats) map[string]any {
 	if len(st.KindUS) > 0 {
 		out["kind_us"] = st.KindUS
 	}
+	if len(st.EmbCache) > 0 {
+		out["emb_cache"] = st.EmbCache
+	}
 	return out
 }
 

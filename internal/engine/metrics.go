@@ -3,6 +3,7 @@ package engine
 import (
 	"io"
 	"sort"
+	"strconv"
 
 	"recsys/internal/nn"
 	"recsys/internal/obs"
@@ -32,6 +33,11 @@ import (
 //	recsys_rank_latency_seconds           histogram
 //	recsys_batch_size_samples             histogram
 //	recsys_op_seconds_total{model,kind}   counter
+//	recsys_embcache_capacity_rows{model,table}    gauge   (only when EmbCache on)
+//	recsys_embcache_hits_total{model,table}       counter (")
+//	recsys_embcache_misses_total{model,table}     counter (")
+//	recsys_embcache_evictions_total{model,table}  counter (")
+//	recsys_embcache_hit_ratio{model,table}        gauge   (")
 type metricsView struct {
 	name string
 	mq   *modelQueue
@@ -125,4 +131,44 @@ func (e *Engine) WriteMetrics(w io.Writer) {
 			obs.WriteSample(w, "recsys_op_seconds_total", labels, float64(ns)/1e9)
 		}
 	}
+
+	if e.opts.EmbCache.Enabled() {
+		e.writeEmbCacheMetrics(w, views, lbl)
+	}
+}
+
+// writeEmbCacheMetrics emits the per-table embedding hot-row cache
+// families, labelled {model, table} with the table's position index.
+// Counts are access-derived (no timing), so the golden exposition test
+// covers them unmasked.
+func (e *Engine) writeEmbCacheMetrics(w io.Writer, views []metricsView, lbl func(metricsView) []obs.Label) {
+	snaps := make([][]EmbCacheStats, len(views))
+	for i, v := range views {
+		snaps[i] = v.mq.snapshot().EmbCache
+	}
+	tableLbl := func(v metricsView, table int) []obs.Label {
+		return append(lbl(v), obs.Label{Name: "table", Value: strconv.Itoa(table)})
+	}
+	emit := func(name, kind, help string, value func(EmbCacheStats) float64, integral bool) {
+		obs.WriteFamily(w, name, kind, help)
+		for i, v := range views {
+			for _, ec := range snaps[i] {
+				if integral {
+					obs.WriteIntSample(w, name, tableLbl(v, ec.Table), int64(value(ec)))
+				} else {
+					obs.WriteSample(w, name, tableLbl(v, ec.Table), value(ec))
+				}
+			}
+		}
+	}
+	emit("recsys_embcache_capacity_rows", "gauge", "Embedding hot-row cache capacity per table.",
+		func(ec EmbCacheStats) float64 { return float64(ec.Capacity) }, true)
+	emit("recsys_embcache_hits_total", "counter", "Embedding cache row hits.",
+		func(ec EmbCacheStats) float64 { return float64(ec.Hits) }, true)
+	emit("recsys_embcache_misses_total", "counter", "Embedding cache row misses.",
+		func(ec EmbCacheStats) float64 { return float64(ec.Misses) }, true)
+	emit("recsys_embcache_evictions_total", "counter", "Embedding cache rows evicted.",
+		func(ec EmbCacheStats) float64 { return float64(ec.Evictions) }, true)
+	emit("recsys_embcache_hit_ratio", "gauge", "Embedding cache hits / (hits + misses).",
+		func(ec EmbCacheStats) float64 { return ec.HitRate }, false)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"recsys/internal/batch"
+	"recsys/internal/embcache"
 	"recsys/internal/model"
 	"recsys/internal/obs"
 )
@@ -120,7 +121,93 @@ type modelQueue struct {
 	// late send.
 	senders sync.WaitGroup
 
+	// embCaches holds one read-through hot-row cache per embedding
+	// table (nil when Options.EmbCache is off). The caches outlive
+	// model swaps: attachEmbCaches re-wires them into the incoming
+	// model's SLS ops and Swap bumps their generation so stale rows
+	// can never be served. embRows remembers the clamped capacity each
+	// cache was built with. swapMu serializes Swap's
+	// attach/invalidate/store sequence (and guards embCaches/embRows
+	// after registration).
+	swapMu    sync.Mutex
+	embCaches []*embcache.Concurrent
+	embRows   []int
+
 	counters
+}
+
+// attachEmbCaches wires the queue's per-table caches into m's SLS ops,
+// creating a cache on first use and recreating it when the table's
+// width or clamped capacity changes. Callers must ensure m is not yet
+// published (Register runs before the queue exists to workers, Swap
+// holds swapMu and attaches before the model pointer store), so ops
+// are never serving while their cache reference is written;
+// re-attaching an unchanged cache is a no-op inside SetRowCache.
+func (mq *modelQueue) attachEmbCaches(m *model.Model, o EmbCacheOptions) error {
+	if !o.Enabled() {
+		return nil
+	}
+	if mq.embCaches == nil {
+		mq.embCaches = make([]*embcache.Concurrent, len(m.SLS))
+		mq.embRows = make([]int, len(m.SLS))
+	}
+	for i, op := range m.SLS {
+		want := o.RowsPerTable
+		if want > op.Table.Rows {
+			want = op.Table.Rows
+		}
+		c := mq.embCaches[i]
+		if c == nil || c.Cols() != op.Table.Cols || mq.embRows[i] != want {
+			fresh, err := embcache.NewConcurrent(want, op.Table.Cols, o.Policy, o.Shards)
+			if err != nil {
+				return err
+			}
+			mq.embCaches[i] = fresh
+			mq.embRows[i] = want
+		}
+		op.SetRowCache(mq.embCaches[i])
+	}
+	return nil
+}
+
+// invalidateEmbCaches bumps every table cache's generation; rows
+// inserted by passes over the outgoing model become unservable.
+func (mq *modelQueue) invalidateEmbCaches() {
+	for _, c := range mq.embCaches {
+		if c != nil {
+			c.Invalidate()
+		}
+	}
+}
+
+// snapshot extends the embedded counters' snapshot with the per-table
+// embedding-cache counters.
+func (mq *modelQueue) snapshot() Stats {
+	st := mq.counters.snapshot()
+	// Copy the cache refs under swapMu: Swap may recreate an entry in
+	// place while we read.
+	mq.swapMu.Lock()
+	caches := append([]*embcache.Concurrent(nil), mq.embCaches...)
+	mq.swapMu.Unlock()
+	if len(caches) > 0 {
+		st.EmbCache = make([]EmbCacheStats, len(caches))
+		for i, c := range caches {
+			st.EmbCache[i] = EmbCacheStats{Table: i}
+			if c == nil {
+				continue
+			}
+			ls := c.Stats()
+			st.EmbCache[i] = EmbCacheStats{
+				Table:     i,
+				Capacity:  c.Capacity(),
+				Hits:      ls.Hits,
+				Misses:    ls.Misses,
+				Evictions: ls.Evictions,
+				HitRate:   ls.HitRate(),
+			}
+		}
+	}
+	return st
 }
 
 func newModelQueue(name string, m *model.Model, weight int, policy batch.Policy, depth, traceRing int) *modelQueue {

@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports that this test binary runs under the race
+// detector, where sync.Pool deliberately drops puts (to surface
+// races), making steady-state allocation counts meaningless.
+const raceEnabled = true

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"recsys/internal/batch"
+	"recsys/internal/embcache"
 	"recsys/internal/model"
 	"recsys/internal/obs"
 )
@@ -60,6 +61,14 @@ func NewEngine(opts Options) (*Engine, error) {
 	}
 	if opts.MaxWait < 0 {
 		return nil, fmt.Errorf("engine: negative MaxWait %v", opts.MaxWait)
+	}
+	if opts.EmbCache.RowsPerTable < 0 {
+		return nil, fmt.Errorf("engine: negative EmbCache.RowsPerTable %d", opts.EmbCache.RowsPerTable)
+	}
+	if opts.EmbCache.Enabled() {
+		if err := embcache.ValidatePolicy(opts.EmbCache.Policy); err != nil {
+			return nil, err
+		}
 	}
 	opts.IntraOpWorkers = resolveIntraOp(opts)
 	e := &Engine{
@@ -114,6 +123,9 @@ func (e *Engine) Register(name string, m *model.Model, mo ModelOptions) error {
 		return fmt.Errorf("engine: model %q already registered", name)
 	}
 	mq := newModelQueue(name, m, weight, pol, e.opts.QueueDepth, e.opts.TraceRing)
+	if err := mq.attachEmbCaches(m, e.opts.EmbCache); err != nil {
+		return err
+	}
 	e.queues[name] = mq
 	e.order = append(e.order, mq)
 	e.wrrTotal += weight
@@ -129,6 +141,14 @@ func (e *Engine) Register(name string, m *model.Model, mo ModelOptions) error {
 // input shape (dense width, table count, per-table lookups), so
 // requests validated against the old config stay well-formed — the
 // checkpoint-reload path of a retrain cycle.
+//
+// With the embedding cache enabled, the swap protocol is: attach the
+// queue's caches to next's SLS ops (next is not serving yet, so the
+// writes race nothing), bump every cache generation, then publish the
+// model pointer. In-flight passes on the old model hold the old
+// generation token — their lookups miss and their inserts are dropped
+// after the bump — so no request ever observes a row from the wrong
+// model's tables.
 func (e *Engine) Swap(name string, next *model.Model) error {
 	if next == nil {
 		return errors.New("engine: nil model")
@@ -139,10 +159,16 @@ func (e *Engine) Swap(name string, next *model.Model) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrModelNotFound, name)
 	}
+	mq.swapMu.Lock()
+	defer mq.swapMu.Unlock()
 	cur := mq.model.Load()
 	if err := compatibleShape(cur.Config, next.Config); err != nil {
 		return err
 	}
+	if err := mq.attachEmbCaches(next, e.opts.EmbCache); err != nil {
+		return err
+	}
+	mq.invalidateEmbCaches()
 	mq.model.Store(next)
 	return nil
 }

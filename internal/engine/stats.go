@@ -35,6 +35,19 @@ type Stats struct {
 	// microseconds, from the instrumented forward pass — the live
 	// analogue of the paper's Figure 7 operator breakdowns.
 	KindUS map[string]float64
+	// EmbCache holds the per-table embedding hot-row cache counters,
+	// indexed by table position; nil when Options.EmbCache is off.
+	EmbCache []EmbCacheStats
+}
+
+// EmbCacheStats is one embedding table's hot-row cache snapshot.
+type EmbCacheStats struct {
+	Table     int     `json:"table"`
+	Capacity  int     `json:"capacity_rows"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 // AvgBatch returns the mean samples per forward pass.
@@ -67,6 +80,21 @@ func (s *Stats) merge(other Stats) {
 			s.KindUS = make(map[string]float64)
 		}
 		s.KindUS[k] += us
+	}
+	// Embedding-cache counters sum by table position; the aggregate
+	// hit rate is recomputed from the summed counters.
+	for _, ec := range other.EmbCache {
+		for len(s.EmbCache) <= ec.Table {
+			s.EmbCache = append(s.EmbCache, EmbCacheStats{Table: len(s.EmbCache)})
+		}
+		t := &s.EmbCache[ec.Table]
+		t.Capacity += ec.Capacity
+		t.Hits += ec.Hits
+		t.Misses += ec.Misses
+		t.Evictions += ec.Evictions
+		if n := t.Hits + t.Misses; n > 0 {
+			t.HitRate = float64(t.Hits) / float64(n)
+		}
 	}
 }
 

@@ -1,0 +1,35 @@
+package model
+
+import "recsys/internal/nn"
+
+// QuantizeTables converts every embedding table to the int8 row-wise
+// representation (Takeaway 5's "aggressive compression"): each SLS op
+// gains an nn.QuantizedTable that the serving gather reads instead of
+// fp32 W, dequantizing at most once per unique row per batch (and at
+// most once per cache residency when a hot-row cache is attached). The
+// fp32 tables stay in place as the source of truth for training,
+// checkpointing, and re-quantization after weight updates.
+//
+// The method returns the model for chaining (m :=
+// must(Build(cfg)).QuantizeTables()). Presets select it with the
+// "-int8" model-spec suffix in cmd/serve and cmd/recbench.
+func (m *Model) QuantizeTables() *Model {
+	for _, op := range m.SLS {
+		op.Quant = nn.Quantize(op.Table)
+	}
+	return m
+}
+
+// Quantized reports whether every embedding table has an int8 serving
+// representation attached.
+func (m *Model) Quantized() bool {
+	if len(m.SLS) == 0 {
+		return false
+	}
+	for _, op := range m.SLS {
+		if op.Quant == nil {
+			return false
+		}
+	}
+	return true
+}

@@ -219,6 +219,14 @@ type SLSOp struct {
 	Lookups int // sparse IDs pooled per sample
 	// Mean selects average pooling (SparseLengthsMean) instead of sum.
 	Mean bool
+	// Quant, when non-nil, redirects the serving gather to the int8
+	// row-wise representation (dequantized at most once per unique row
+	// by the planned gather). Table remains the fp32 source of truth —
+	// training, checkpointing, and re-quantization still read W.
+	Quant *QuantizedTable
+	// cache is the optional read-through hot-row cache (SetRowCache);
+	// when set, ForwardEx takes the planned gather path.
+	cache RowCache
 }
 
 // NewSLSOp wires a table with its per-sample lookup count.
@@ -236,19 +244,62 @@ func (s *SLSOp) Name() string { return s.Table.label }
 func (s *SLSOp) Kind() Kind { return KindSLS }
 
 // Forward pools Lookups rows per sample for a batch of ID lists. ids
-// must contain batch×Lookups entries.
+// must contain batch×Lookups entries. This is the plan-free reference
+// path: fp32 tables gather directly, int8 tables dequantize every
+// occurrence — never consulting the row cache — so equivalence tests
+// can compare the optimized ForwardEx against it.
 func (s *SLSOp) Forward(ids []int, batch int) *tensor.Tensor {
-	return s.ForwardEx(ids, batch, nil, 1)
+	if len(ids) != batch*s.Lookups {
+		panic(fmt.Sprintf("nn: SLSOp expects %d IDs for batch %d, got %d", batch*s.Lookups, batch, len(ids)))
+	}
+	if s.Quant != nil {
+		return s.forwardQuantNaive(ids, batch, nil)
+	}
+	return s.forwardDirect(ids, batch, nil, 1)
+}
+
+// ForwardNaiveEx is the plan-free reference path with arena-backed
+// scratch: fp32 tables gather per occurrence, int8 tables dequantize
+// per occurrence, and the row cache is never consulted. It exists so
+// benchmarks can measure the naive path on the same footing (zero
+// steady-state allocations) as the planned gather it is compared
+// against.
+func (s *SLSOp) ForwardNaiveEx(ids []int, batch int, a *tensor.Arena, workers int) *tensor.Tensor {
+	if len(ids) != batch*s.Lookups {
+		panic(fmt.Sprintf("nn: SLSOp expects %d IDs for batch %d, got %d", batch*s.Lookups, batch, len(ids)))
+	}
+	if s.Quant != nil {
+		return s.forwardQuantNaive(ids, batch, a)
+	}
+	return s.forwardDirect(ids, batch, a, workers)
 }
 
 // ForwardEx is Forward with an optional scratch arena for the output
 // tensor and an intra-op worker count (1 = serial, 0 = GOMAXPROCS).
 // The uniform per-sample lookup count means no lengths vector is
-// materialized at all. Results are bit-identical to Forward.
+// materialized at all. With a row cache attached or an int8 table in
+// play it takes the locality-aware planned gather (dedup + sorted
+// staging + read-through cache); results are bit-identical to Forward
+// either way.
 func (s *SLSOp) ForwardEx(ids []int, batch int, a *tensor.Arena, workers int) *tensor.Tensor {
 	if len(ids) != batch*s.Lookups {
 		panic(fmt.Sprintf("nn: SLSOp expects %d IDs for batch %d, got %d", batch*s.Lookups, batch, len(ids)))
 	}
+	if (s.cache != nil || s.Quant != nil) && len(ids) < maxPlanPositions {
+		return s.forwardGather(ids, batch, a, workers)
+	}
+	if s.Quant != nil {
+		// Gather too large for a plan (> 2^24 positions): dequantize
+		// per occurrence.
+		return s.forwardQuantNaive(ids, batch, a)
+	}
+	return s.forwardDirect(ids, batch, a, workers)
+}
+
+// forwardDirect is the naive fp32 gather: every occurrence reads its
+// table row, no dedup, no cache. Cache-off fp32 serving stays on this
+// path so uniform traffic pays zero plan overhead.
+func (s *SLSOp) forwardDirect(ids []int, batch int, a *tensor.Arena, workers int) *tensor.Tensor {
 	out := allocDense(a, batch, s.Table.Cols)
 	s.Table.validateIDs(ids)
 	workers = slsWorkers(workers, batch, len(ids)*s.Table.Cols)
@@ -287,8 +338,13 @@ func (s *SLSOp) gatherUniform(out *tensor.Tensor, ids []int, kLo, kHi int) {
 // elements and accumulates it (one add per element). The access pattern
 // is irregular — rows are scattered across a table far larger than any
 // cache — which is what produces the 8 MPKI LLC miss rates of Figure 5.
+// With an int8 table the row read shrinks to Cols bytes plus the
+// per-row scale/offset pair.
 func (s *SLSOp) Stats(batch int) OpStats {
 	rowBytes := bytesF32(s.Table.Cols)
+	if s.Quant != nil {
+		rowBytes = float64(s.Quant.Cols) + 8
+	}
 	gathered := float64(batch * s.Lookups)
 	return OpStats{
 		FLOPs:      gathered * float64(s.Table.Cols), // one add per gathered element

@@ -1,0 +1,291 @@
+package nn
+
+import (
+	"fmt"
+	"sync"
+
+	"recsys/internal/tensor"
+)
+
+// RowCache is the read-through hot-row cache the serving gather
+// consults before touching the table (satisfied by
+// embcache.Concurrent). Generation tokens make invalidation safe
+// against in-flight passes: a pass captures Gen() once, stale-token
+// lookups always miss, and stale-token inserts are dropped.
+type RowCache interface {
+	Gen() uint64
+	Lookup(gen, id uint64, dst []float32) bool
+	Insert(gen, id uint64, src []float32)
+	Invalidate()
+	Cols() int
+}
+
+// Gather plans pack (row ID, position) into one int64 so the dedup
+// sort is a single allocation-free pass over machine words.
+// planPosBits bounds the positions (batch × lookups) a plan can
+// address; larger gathers fall back to the direct path.
+const planPosBits = 24
+const maxPlanPositions = 1 << planPosBits
+
+// The dedup sort is a stable LSD radix sort over the ID field only
+// (bits ≥ planPosBits): keys are packed in position order and counting
+// passes are stable, so positions sharing an ID stay in ascending
+// order without ever sorting the position bits. 11-bit digits keep the
+// count array L1-resident (8 KB) while covering any realistic table in
+// two passes (≤ 4M rows); comparison sorting the same keys costs
+// several times more on the profiled serving path.
+const radixBits = 11
+const radixSize = 1 << radixBits
+
+// gatherPlan is the reusable scratch for one planned gather: the
+// merged batch's IDs dedup-sorted into a unique list plus a
+// per-position index into it. Plans are pooled; the arena owns the
+// staging rows themselves.
+type gatherPlan struct {
+	keys  []int64 // packed (id << planPosBits) | position, then sorted
+	tmp   []int64 // radix-sort ping-pong buffer
+	uniq  []int64 // unique row IDs, ascending
+	index []int32 // per original position: row index into the staging buffer
+}
+
+var planPool = sync.Pool{New: func() any { return new(gatherPlan) }}
+
+// build dedups and sorts ids, filling uniq and index, and returns the
+// unique-row count. Positions sharing a row ID sort adjacently, so one
+// ascending walk assigns staging indices; the low position bits keep
+// keys distinct without affecting ID order.
+func (p *gatherPlan) build(ids []int) int {
+	n := len(ids)
+	if cap(p.keys) < n {
+		p.keys = make([]int64, n)
+		p.tmp = make([]int64, n)
+		p.index = make([]int32, n)
+		p.uniq = make([]int64, 0, n)
+	}
+	p.keys = p.keys[:n]
+	p.tmp = p.tmp[:n]
+	p.index = p.index[:n]
+	p.uniq = p.uniq[:0]
+	maxID := 0
+	for pos, id := range ids {
+		if id > maxID {
+			maxID = id
+		}
+		p.keys[pos] = int64(id)<<planPosBits | int64(pos)
+	}
+	p.sortByID(uint64(maxID))
+	prev := int64(-1)
+	for _, k := range p.keys {
+		id := k >> planPosBits
+		pos := k & (maxPlanPositions - 1)
+		if id != prev {
+			p.uniq = append(p.uniq, id)
+			prev = id
+		}
+		p.index[pos] = int32(len(p.uniq) - 1)
+	}
+	return len(p.uniq)
+}
+
+// sortByID stable-sorts p.keys by their ID field with an LSD counting
+// sort over radixBits-wide digits, ping-ponging between keys and tmp.
+// Digits above the largest ID are all zero, so passes stop as soon as
+// maxID's remaining bits are exhausted — one pass per 2048 rows of
+// table height, two for anything up to 4M rows.
+func (p *gatherPlan) sortByID(maxID uint64) {
+	src, dst := p.keys, p.tmp
+	swapped := false
+	for shift := uint(planPosBits); maxID>>(shift-planPosBits) != 0; shift += radixBits {
+		var count [radixSize]int32
+		for _, k := range src {
+			count[(uint64(k)>>shift)&(radixSize-1)]++
+		}
+		sum := int32(0)
+		for i, c := range count {
+			count[i] = sum
+			sum += c
+		}
+		for _, k := range src {
+			d := (uint64(k) >> shift) & (radixSize - 1)
+			dst[count[d]] = k
+			count[d]++
+		}
+		src, dst = dst, src
+		swapped = !swapped
+	}
+	if swapped {
+		copy(p.keys, src)
+	}
+}
+
+// SetRowCache attaches (or, with nil, detaches) a read-through row
+// cache; ForwardEx then takes the planned gather path. The op must not
+// be serving when the attached cache changes — the engine attaches
+// before a model is published and the same-cache re-attach on hot swap
+// is a guarded no-op, so swap traffic never races this write.
+func (s *SLSOp) SetRowCache(c RowCache) {
+	if c == s.cache {
+		return
+	}
+	if c != nil && c.Cols() != s.Table.Cols {
+		panic(fmt.Sprintf("nn: row cache width %d does not match table width %d", c.Cols(), s.Table.Cols))
+	}
+	s.cache = c
+}
+
+// RowCacheRef returns the attached row cache, if any.
+func (s *SLSOp) RowCacheRef() RowCache { return s.cache }
+
+// InvalidateCachedRows discards the attached cache's rows (generation
+// bump). The trainer calls this after sparse-row updates, mirroring
+// FC.InvalidatePacked for packed dense weights.
+func (s *SLSOp) InvalidateCachedRows() {
+	if s.cache != nil {
+		s.cache.Invalidate()
+	}
+}
+
+// forwardGather is the locality-aware serving path: dedup the merged
+// batch's IDs (co-batched requests share hot rows), gather each unique
+// row once — through the cache when attached, dequantizing at most
+// once per unique row when the table is int8 — into an arena-backed
+// staging buffer, then accumulate pooled sums via plan indices.
+//
+// Output is bit-identical to the naive path: staging rows hold the
+// exact fp32 (or deterministically dequantized) row values, and each
+// output row accumulates them in the original per-sample ID order.
+func (s *SLSOp) forwardGather(ids []int, batch int, a *tensor.Arena, workers int) *tensor.Tensor {
+	cols := s.Table.Cols
+	out := allocDense(a, batch, cols)
+	s.Table.validateIDs(ids)
+	p := planPool.Get().(*gatherPlan)
+	nUniq := p.build(ids)
+	// Staging can skip the arena's zero fill: stageRows writes every
+	// row in [0, nUniq) before accumStaged reads any of it. (out must
+	// stay zeroed — accumulation is +=.)
+	staging := allocDenseUninit(a, nUniq, cols)
+	var gen uint64
+	if s.cache != nil {
+		gen = s.cache.Gen()
+	}
+	workers = slsWorkers(workers, batch, len(ids)*cols)
+	if workers <= 1 {
+		// Inline serial path: the parallel branch's closures must not
+		// be reached here, or their allocation would break the
+		// steady-state zero-alloc contract.
+		s.stageRows(staging, p.uniq, 0, nUniq, gen)
+		s.accumStaged(out, staging, p.index, 0, batch)
+	} else {
+		tensor.ParallelFor(nUniq, workers, func(lo, hi int) {
+			s.stageRows(staging, p.uniq, lo, hi, gen)
+		})
+		tensor.ParallelFor(batch, workers, func(lo, hi int) {
+			s.accumStaged(out, staging, p.index, lo, hi)
+		})
+	}
+	if s.Mean {
+		inv := 1 / float32(s.Lookups)
+		d := out.Data()
+		for i := range d {
+			d[i] *= inv
+		}
+	}
+	planPool.Put(p)
+	return out
+}
+
+// stageRows materializes unique rows [lo, hi) into the staging buffer:
+// cache hit, else table read (fp32 copy or int8 dequant) followed by a
+// read-through insert.
+func (s *SLSOp) stageRows(staging *tensor.Tensor, uniq []int64, lo, hi int, gen uint64) {
+	cols := s.Table.Cols
+	w := s.Table.W.Data()
+	for u := lo; u < hi; u++ {
+		id := uniq[u]
+		dst := staging.Row(u)
+		if s.cache != nil && s.cache.Lookup(gen, uint64(id), dst) {
+			continue
+		}
+		if s.Quant != nil {
+			s.Quant.Row(int(id), dst)
+		} else {
+			copy(dst, w[int(id)*cols:(int(id)+1)*cols])
+		}
+		if s.cache != nil {
+			s.cache.Insert(gen, uint64(id), dst)
+		}
+	}
+}
+
+// accumStaged pools output rows [kLo, kHi) from staged rows via plan
+// indices, in original per-sample ID order. Mirrors accumRow's
+// fixed-width 32/64 specializations (bounds-check-free, vectorizable);
+// the default path covers the narrow NCF widths.
+func (s *SLSOp) accumStaged(out, staging *tensor.Tensor, index []int32, kLo, kHi int) {
+	sd := staging.Data()
+	l := s.Lookups
+	switch s.Table.Cols {
+	case 32:
+		for k := kLo; k < kHi; k++ {
+			d := (*[32]float32)(out.Row(k))
+			for _, u := range index[k*l : (k+1)*l] {
+				src := (*[32]float32)(sd[int(u)*32:])
+				for i := range d {
+					d[i] += src[i]
+				}
+			}
+		}
+	case 64:
+		for k := kLo; k < kHi; k++ {
+			d := (*[64]float32)(out.Row(k))
+			for _, u := range index[k*l : (k+1)*l] {
+				src := (*[64]float32)(sd[int(u)*64:])
+				for i := range d {
+					d[i] += src[i]
+				}
+			}
+		}
+	default:
+		cols := s.Table.Cols
+		for k := kLo; k < kHi; k++ {
+			d := out.Row(k)
+			for _, u := range index[k*l : (k+1)*l] {
+				src := sd[int(u)*cols : int(u)*cols+cols]
+				for i, v := range src {
+					d[i] += v
+				}
+			}
+		}
+	}
+}
+
+// forwardQuantNaive is the plan-free int8 reference: dequantize every
+// occurrence on the fly, exactly like QuantizedTable.SparseLengthsSum
+// with a uniform lengths vector. It is the equivalence baseline (and
+// the fallback for gathers too large for a plan); with an arena it
+// runs allocation-free so benchmarks can compare it fairly against the
+// planned gather.
+func (s *SLSOp) forwardQuantNaive(ids []int, batch int, a *tensor.Arena) *tensor.Tensor {
+	cols := s.Table.Cols
+	out := allocDense(a, batch, cols)
+	s.Table.validateIDs(ids)
+	row := allocDenseUninit(a, 1, cols).Data()
+	l := s.Lookups
+	for k := 0; k < batch; k++ {
+		d := out.Row(k)
+		for _, id := range ids[k*l : (k+1)*l] {
+			s.Quant.Row(id, row)
+			for i, v := range row {
+				d[i] += v
+			}
+		}
+	}
+	if s.Mean {
+		inv := 1 / float32(l)
+		d := out.Data()
+		for i := range d {
+			d[i] *= inv
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package nn
+
+import (
+	"testing"
+
+	"recsys/internal/embcache"
+	"recsys/internal/stats"
+	"recsys/internal/tensor"
+	"recsys/internal/trace"
+)
+
+func TestGatherPlanBuild(t *testing.T) {
+	var p gatherPlan
+	ids := []int{5, 3, 5, 9, 3, 5}
+	n := p.build(ids)
+	if n != 3 {
+		t.Fatalf("unique count = %d, want 3", n)
+	}
+	wantUniq := []int64{3, 5, 9}
+	for i, id := range wantUniq {
+		if p.uniq[i] != id {
+			t.Fatalf("uniq = %v, want %v", p.uniq, wantUniq)
+		}
+	}
+	// index maps each original position back to its staging row.
+	wantIdx := []int32{1, 0, 1, 2, 0, 1}
+	for i, u := range wantIdx {
+		if p.index[i] != u {
+			t.Fatalf("index = %v, want %v", p.index[:n], wantIdx)
+		}
+	}
+	// Reuse with fewer IDs must not leak prior state.
+	if n := p.build([]int{2, 2}); n != 1 || p.uniq[0] != 2 {
+		t.Fatalf("rebuild: uniq=%v n=%d, want [2] 1", p.uniq, n)
+	}
+}
+
+// drawIDs fills count IDs per sample from a generator for the op.
+func drawIDs(g trace.IDGenerator, batch, lookups int) []int {
+	ids := make([]int, batch*lookups)
+	g.Fill(ids)
+	return ids
+}
+
+func gatherCases(rows int, rng *stats.RNG) map[string]trace.IDGenerator {
+	return map[string]trace.IDGenerator{
+		"uniform": trace.NewUniform(rows, rng.Split()),
+		"zipf1.1": trace.NewZipfian(rows, 1.1, rng.Split()),
+	}
+}
+
+// TestForwardGatherBitIdentical drives the planned fp32 gather (cache
+// attached, cold and warm, serial and parallel) against the naive
+// Forward reference and requires bit-identical outputs.
+func TestForwardGatherBitIdentical(t *testing.T) {
+	rng := stats.NewRNG(11)
+	for _, cols := range []int{8, 32, 64} {
+		table := NewEmbeddingTable("t", 500, cols, rng)
+		op := NewSLSOp(table, 20)
+		cache, err := embcache.NewConcurrent(64, cols, "lru", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op.SetRowCache(cache)
+		arena := tensor.NewArena()
+		for name, gen := range gatherCases(table.Rows, rng) {
+			for _, workers := range []int{1, 4} {
+				for pass := 0; pass < 3; pass++ { // pass 0 cold cache, 1-2 warm
+					batch := 16
+					ids := drawIDs(gen, batch, op.Lookups)
+					want := op.Forward(ids, batch)
+					arena.Reset()
+					got := op.ForwardEx(ids, batch, arena, workers)
+					if !tensor.Equal(want, got, 0) {
+						t.Fatalf("cols=%d %s workers=%d pass=%d: planned gather differs from naive", cols, name, workers, pass)
+					}
+				}
+			}
+		}
+		op.SetRowCache(nil)
+	}
+}
+
+// TestForwardGatherMean covers the mean-pooling scaling on the planned
+// path.
+func TestForwardGatherMean(t *testing.T) {
+	rng := stats.NewRNG(12)
+	table := NewEmbeddingTable("t", 200, 32, rng)
+	op := &SLSOp{Table: table, Lookups: 8, Mean: true}
+	cache, _ := embcache.NewConcurrent(32, 32, "lru", 1)
+	op.SetRowCache(cache)
+	ids := drawIDs(trace.NewZipfian(200, 1.1, rng), 4, 8)
+	want := op.Forward(ids, 4)
+	if got := op.ForwardEx(ids, 4, nil, 1); !tensor.Equal(want, got, 0) {
+		t.Fatal("mean pooling differs on planned path")
+	}
+}
+
+// TestForwardQuantBitIdentical: the planned int8 gather (dedup +
+// cached dequantized rows) must match the naive per-occurrence dequant
+// reference bit for bit — dequantization is deterministic, so staging
+// a row once yields the same floats as dequantizing each occurrence.
+func TestForwardQuantBitIdentical(t *testing.T) {
+	rng := stats.NewRNG(13)
+	table := NewEmbeddingTable("t", 400, 32, rng)
+	op := NewSLSOp(table, 20)
+	op.Quant = Quantize(table)
+	for _, withCache := range []bool{false, true} {
+		if withCache {
+			cache, _ := embcache.NewConcurrent(64, 32, "clock", 2)
+			op.SetRowCache(cache)
+		}
+		for name, gen := range gatherCases(table.Rows, rng) {
+			for pass := 0; pass < 3; pass++ {
+				ids := drawIDs(gen, 16, op.Lookups)
+				want := op.Forward(ids, 16) // naive dequant reference
+				got := op.ForwardEx(ids, 16, nil, 1)
+				if !tensor.Equal(want, got, 0) {
+					t.Fatalf("cache=%v %s pass=%d: planned int8 gather differs from naive dequant", withCache, name, pass)
+				}
+			}
+		}
+	}
+}
+
+// TestForwardQuantErrorBound: int8 serving output stays within the
+// worst-case accumulated quantization error of the fp32 output
+// (Lookups rows summed, each off by at most MaxAbsError per element).
+func TestForwardQuantErrorBound(t *testing.T) {
+	rng := stats.NewRNG(14)
+	table := NewEmbeddingTable("t", 300, 32, rng)
+	fp := NewSLSOp(table, 24)
+	q := NewSLSOp(table, 24)
+	q.Quant = Quantize(table)
+	bound := float32(q.Lookups) * q.Quant.MaxAbsError(table)
+	ids := drawIDs(trace.NewZipfian(300, 0.8, rng), 8, 24)
+	want := fp.Forward(ids, 8)
+	got := q.ForwardEx(ids, 8, nil, 1)
+	wd, gd := want.Data(), got.Data()
+	for i := range wd {
+		d := wd[i] - gd[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > bound {
+			t.Fatalf("elem %d: |%g - %g| = %g exceeds quantization bound %g", i, wd[i], gd[i], d, bound)
+		}
+	}
+}
+
+func TestSetRowCacheWidthMismatch(t *testing.T) {
+	rng := stats.NewRNG(15)
+	op := NewSLSOp(NewEmbeddingTable("t", 10, 32, rng), 2)
+	cache, _ := embcache.NewConcurrent(8, 16, "lru", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width-mismatched cache accepted")
+		}
+	}()
+	op.SetRowCache(cache)
+}
+
+// TestInvalidateCachedRows: after a table edit plus invalidation the
+// planned path must serve the new values (the trainer's sparse-update
+// hook relies on this).
+func TestInvalidateCachedRows(t *testing.T) {
+	rng := stats.NewRNG(16)
+	table := NewEmbeddingTable("t", 50, 32, rng)
+	op := NewSLSOp(table, 4)
+	cache, _ := embcache.NewConcurrent(50, 32, "lru", 1)
+	op.SetRowCache(cache)
+	ids := []int{1, 2, 3, 4}
+	op.ForwardEx(ids, 1, nil, 1) // warm the cache
+	table.W.Row(2)[0] += 42      // sparse update
+	op.InvalidateCachedRows()
+	want := op.Forward(ids, 1)
+	if got := op.ForwardEx(ids, 1, nil, 1); !tensor.Equal(want, got, 0) {
+		t.Fatal("stale cached row served after InvalidateCachedRows")
+	}
+}
+
+// TestForwardGatherNoAllocs: the serial planned path with a warm
+// arena, warm plan pool, and warm cache is allocation-free — the
+// contract that lets the engine keep its zero-alloc RankInto gate with
+// the cache on.
+func TestForwardGatherNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under -race; alloc counts meaningless")
+	}
+	rng := stats.NewRNG(17)
+	table := NewEmbeddingTable("t", 1000, 32, rng)
+	op := NewSLSOp(table, 40)
+	cache, err := embcache.NewConcurrent(200, 32, "lru", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.SetRowCache(cache)
+	gen := trace.NewZipfian(1000, 1.1, rng)
+	arena := tensor.NewArena()
+	ids := drawIDs(gen, 16, op.Lookups)
+	for i := 0; i < 20; i++ { // warm arena, pool, cache
+		arena.Reset()
+		op.ForwardEx(ids, 16, arena, 1)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		arena.Reset()
+		op.ForwardEx(ids, 16, arena, 1)
+	})
+	if allocs > 0.5 {
+		t.Fatalf("planned gather allocates %.1f/op in steady state, want 0", allocs)
+	}
+}

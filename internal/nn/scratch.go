@@ -12,3 +12,14 @@ func allocDense(a *tensor.Arena, rows, cols int) *tensor.Tensor {
 	}
 	return tensor.New(rows, cols)
 }
+
+// allocDenseUninit is allocDense without the arena's zero fill, for
+// scratch that is fully overwritten before any element is read. The
+// heap fallback still zeroes (make does), which is fine — only the
+// steady-state arena path is hot.
+func allocDenseUninit(a *tensor.Arena, rows, cols int) *tensor.Tensor {
+	if a != nil {
+		return a.AllocUninit(rows, cols)
+	}
+	return tensor.New(rows, cols)
+}

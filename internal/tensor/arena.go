@@ -63,10 +63,49 @@ func (a *Arena) Alloc(shape ...int) *Tensor {
 	return t
 }
 
-// alloc carves n zeroed float32s. When the slab is exhausted a larger
-// one is allocated; tensors handed out earlier keep referencing the
-// old slab, so they stay valid for the remainder of the pass.
+// AllocUninit is Alloc without the zero fill: the returned tensor's
+// contents are whatever a previous pass left in the slab. Only for
+// scratch that is fully overwritten before any element is read (e.g.
+// the gather staging buffer, where every row is materialized before
+// accumulation) — the memclr is pure overhead there and measurably so
+// on the SLS hot path.
+func (a *Arena) AllocUninit(shape ...int) *Tensor {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: negative dimension in shape")
+		}
+		n *= d
+	}
+	data := a.allocRaw(n)
+	var t *Tensor
+	if a.used < len(a.tensors) {
+		t = a.tensors[a.used]
+	} else {
+		t = &Tensor{}
+		a.tensors = append(a.tensors, t)
+	}
+	a.used++
+	t.shape = append(t.shape[:0], shape...)
+	t.data = data
+	return t
+}
+
+// alloc carves n zeroed float32s.
 func (a *Arena) alloc(n int) []float32 {
+	d := a.allocRaw(n)
+	clear(d)
+	return d
+}
+
+// allocRaw carves n float32s without clearing them. When the slab is
+// exhausted a larger one is allocated; tensors handed out earlier keep
+// referencing the old slab, so they stay valid for the remainder of
+// the pass.
+func (a *Arena) allocRaw(n int) []float32 {
 	a.total += n
 	if a.off+n > len(a.slab) {
 		size := 2 * len(a.slab)
@@ -81,7 +120,6 @@ func (a *Arena) alloc(n int) []float32 {
 	}
 	d := a.slab[a.off : a.off+n : a.off+n]
 	a.off += n
-	clear(d)
 	return d
 }
 

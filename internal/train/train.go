@@ -202,6 +202,11 @@ func (t *Trainer) slsBackward(op *nn.SLSOp, ids []int, batch int, dOut *tensor.T
 			t.opt.UpdateSparseRow(key, id, op.Table.W.Row(id), g)
 		}
 	}
+	// The serving hot path may hold updated rows in its hot-row cache;
+	// bump the generation so a model being fine-tuned while served
+	// never gathers stale embeddings — the SLS counterpart of
+	// fc.InvalidatePacked above.
+	op.InvalidateCachedRows()
 }
 
 // reluBackward zeroes gradient entries where the activation output was

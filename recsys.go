@@ -217,6 +217,13 @@ var (
 type (
 	// ServeOptions configures the concurrent inference server.
 	ServeOptions = engine.Options
+	// ServeEmbCacheOptions configures the per-table read-through
+	// hot-row cache consulted by the serving gather path
+	// (ServeOptions.EmbCache).
+	ServeEmbCacheOptions = engine.EmbCacheOptions
+	// ServeEmbCacheStats are one table's cumulative cache counters,
+	// reported in ServeStats.EmbCache and /metrics.
+	ServeEmbCacheStats = engine.EmbCacheStats
 	// ServeServer is the single-model wrapper around a serving engine.
 	ServeServer = engine.Server
 	// ServeEngine is the multi-model serving core: model registry,
@@ -274,6 +281,12 @@ type (
 	CachePolicy = embcache.Policy
 	// TieredStore models a DRAM cache over NVM.
 	TieredStore = embcache.TieredStore
+	// ConcurrentRowCache is the sharded, generation-invalidated
+	// hot-row cache the serving gather path reads through (attach with
+	// ServeOptions.EmbCache or nn.SLSOp.SetRowCache).
+	ConcurrentRowCache = embcache.Concurrent
+	// RowCacheStats are a ConcurrentRowCache's cumulative counters.
+	RowCacheStats = embcache.LiveStats
 )
 
 // PrefetchModel estimates gather time under software prefetching.
@@ -287,6 +300,8 @@ var (
 	NewPinnedCache     = embcache.NewPinned
 	CacheHitRate       = embcache.HitRate
 	DefaultTieredStore = embcache.DefaultTieredStore
+	// NewConcurrentRowCache builds the lock-striped serving cache.
+	NewConcurrentRowCache = embcache.NewConcurrent
 )
 
 // Distributed (sharded) serving.
