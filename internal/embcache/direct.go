@@ -66,7 +66,7 @@ func newDirect(capacity, cols int) *directCache {
 // so a "5% of rows" capacity stays exactly that).
 func (d *directCache) slot(id uint64) int {
 	h := id * fibMix
-	return int((h >> 32 * uint64(d.slots)) >> 32)
+	return int(((h >> 32) * uint64(d.slots)) >> 32)
 }
 
 func (d *directCache) lookup(gen, id uint64, dst []float32) bool {

@@ -213,6 +213,14 @@ func (e *Engine) process(mq *modelQueue, jobs []*job, samples int, scratch *work
 			}
 		}
 	}
+	// The pass lock pairs the model pointer with the embedding caches'
+	// generation: Swap bumps the generation and publishes the new model
+	// under the write side, so no forward here can stage rows from one
+	// model's tables under the other model's cache generation. Held
+	// through deliver for simplicity — the response channels are
+	// buffered, so nothing below blocks on a consumer.
+	mq.passMu.RLock()
+	defer mq.passMu.RUnlock()
 	m := mq.model.Load()
 	merged, err := merge(m.Config, live, scratch)
 	if err != nil {

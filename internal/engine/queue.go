@@ -133,6 +133,17 @@ type modelQueue struct {
 	embCaches []*embcache.Concurrent
 	embRows   []int
 
+	// passMu fences forward passes against Swap's publish. Workers hold
+	// the read side from loading the model pointer until the forward
+	// completes; Swap holds the write side across the generation bump
+	// and the pointer store. Without it a pass could load the OLD model,
+	// then capture the post-bump NEW cache generation inside the SLS op
+	// and insert the old model's rows under the new token — poisoning
+	// the cache for every request after the swap. The write lock
+	// quiesces such passes first, so model pointer and generation are
+	// always observed as a consistent pair.
+	passMu sync.RWMutex
+
 	counters
 }
 

@@ -144,11 +144,16 @@ func (e *Engine) Register(name string, m *model.Model, mo ModelOptions) error {
 //
 // With the embedding cache enabled, the swap protocol is: attach the
 // queue's caches to next's SLS ops (next is not serving yet, so the
-// writes race nothing), bump every cache generation, then publish the
-// model pointer. In-flight passes on the old model hold the old
-// generation token — their lookups miss and their inserts are dropped
-// after the bump — so no request ever observes a row from the wrong
-// model's tables.
+// writes race nothing), then — under the queue's pass lock, which
+// waits out every in-flight forward — bump every cache generation and
+// publish the model pointer together. Quiescence matters: a pass that
+// already loaded the old model must not observe the new generation,
+// or it would insert the old model's rows under the new token and
+// poison the cache for post-swap traffic. Passes that finished before
+// the bump hold the old token — their leftover rows become unservable
+// — and passes starting after the publish see the new model with the
+// new token, so no request ever observes a row from the wrong model's
+// tables.
 func (e *Engine) Swap(name string, next *model.Model) error {
 	if next == nil {
 		return errors.New("engine: nil model")
@@ -168,8 +173,10 @@ func (e *Engine) Swap(name string, next *model.Model) error {
 	if err := mq.attachEmbCaches(next, e.opts.EmbCache); err != nil {
 		return err
 	}
+	mq.passMu.Lock()
 	mq.invalidateEmbCaches()
 	mq.model.Store(next)
+	mq.passMu.Unlock()
 	return nil
 }
 

@@ -258,6 +258,18 @@ func (s *SLSOp) Forward(ids []int, batch int) *tensor.Tensor {
 	return s.forwardDirect(ids, batch, nil, 1)
 }
 
+// ForwardTrain is the training-time forward: it always pools from the
+// fp32 table — the source of truth the optimizer updates — never from
+// the int8 snapshot or the row cache. Routing the trainer through
+// Forward instead would pin a fine-tuned quantized model to its frozen
+// pre-training int8 codes, silently training against stale weights.
+func (s *SLSOp) ForwardTrain(ids []int, batch int) *tensor.Tensor {
+	if len(ids) != batch*s.Lookups {
+		panic(fmt.Sprintf("nn: SLSOp expects %d IDs for batch %d, got %d", batch*s.Lookups, batch, len(ids)))
+	}
+	return s.forwardDirect(ids, batch, nil, 1)
+}
+
 // ForwardNaiveEx is the plan-free reference path with arena-backed
 // scratch: fp32 tables gather per occurrence, int8 tables dequantize
 // per occurrence, and the row cache is never consulted. It exists so

@@ -31,29 +31,41 @@ func Quantize(t *EmbeddingTable) *QuantizedTable {
 		label:  t.label + "/int8",
 	}
 	for r := 0; r < t.Rows; r++ {
-		row := t.W.Row(r)
-		lo, hi := row[0], row[0]
-		for _, v := range row {
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-		}
-		scale := (hi - lo) / 255
-		if scale == 0 {
-			scale = 1e-8 // constant row: all codes map to lo
-		}
-		q.scale[r] = scale
-		q.offset[r] = lo
-		codes := q.codes[r*t.Cols : (r+1)*t.Cols]
-		for c, v := range row {
-			code := math.Round(float64((v - lo) / scale))
-			codes[c] = int8(code - 128)
-		}
+		q.QuantizeRow(r, t.W.Row(r))
 	}
 	return q
+}
+
+// QuantizeRow recomputes row r's scale, offset, and codes from src
+// (length Cols). The trainer uses it to keep the int8 serving snapshot
+// coherent after sparse-row updates to the fp32 source table.
+func (q *QuantizedTable) QuantizeRow(r int, src []float32) {
+	if r < 0 || r >= q.Rows {
+		panic(fmt.Sprintf("nn: quantized row %d out of range [0,%d)", r, q.Rows))
+	}
+	if len(src) != q.Cols {
+		panic(fmt.Sprintf("nn: src length %d, want %d", len(src), q.Cols))
+	}
+	lo, hi := src[0], src[0]
+	for _, v := range src {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	scale := (hi - lo) / 255
+	if scale == 0 {
+		scale = 1e-8 // constant row: all codes map to lo
+	}
+	q.scale[r] = scale
+	q.offset[r] = lo
+	codes := q.codes[r*q.Cols : (r+1)*q.Cols]
+	for c, v := range src {
+		code := math.Round(float64((v - lo) / scale))
+		codes[c] = int8(code - 128)
+	}
 }
 
 // Name returns the table label.

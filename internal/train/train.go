@@ -95,7 +95,10 @@ func (t *Trainer) forward(req model.Request) *tape {
 		tp.parts = append(tp.parts, x)
 	}
 	for i, op := range m.SLS {
-		tp.parts = append(tp.parts, op.Forward(req.SparseIDs[i], req.Batch))
+		// ForwardTrain, not Forward: training must read the fp32 tables
+		// the optimizer updates, not a quantized model's frozen int8
+		// serving snapshot.
+		tp.parts = append(tp.parts, op.ForwardTrain(req.SparseIDs[i], req.Batch))
 	}
 	tp.concatOut = m.ConcatOp.Forward(tp.parts)
 	x := tp.concatOut
@@ -200,6 +203,15 @@ func (t *Trainer) slsBackward(op *nn.SLSOp, ids []int, batch int, dOut *tensor.T
 		g := dOut.Row(k)
 		for _, id := range ids[k*op.Lookups : (k+1)*op.Lookups] {
 			t.opt.UpdateSparseRow(key, id, op.Table.W.Row(id), g)
+		}
+	}
+	// On a quantized model, re-quantize every updated row so the int8
+	// serving snapshot tracks the fp32 source of truth; without this the
+	// generation bump below would be moot — the serving gather would
+	// just re-read the same stale codes.
+	if q := op.Quant; q != nil {
+		for _, id := range ids {
+			q.QuantizeRow(id, op.Table.W.Row(id))
 		}
 	}
 	// The serving hot path may hold updated rows in its hot-row cache;

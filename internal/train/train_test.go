@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"recsys/internal/model"
+	"recsys/internal/nn"
 	"recsys/internal/stats"
 )
 
@@ -179,6 +180,60 @@ func TestEmbeddingGradientSparse(t *testing.T) {
 	}
 	if changedTouched == 0 {
 		t.Error("no gathered rows updated")
+	}
+}
+
+// TestTrainQuantizedModel: fine-tuning a quantized model must behave
+// exactly like fine-tuning its fp32 twin — the training forward reads
+// the fp32 tables, never the frozen int8 snapshot — and the snapshot
+// must be re-quantized from the updated rows so serving stays coherent
+// with training.
+func TestTrainQuantizedModel(t *testing.T) {
+	mFP := buildTiny(t, model.Cat, 21)
+	mQ := buildTiny(t, model.Cat, 21) // same seed → identical weights
+	mQ.QuantizeTables()
+
+	rng := stats.NewRNG(22)
+	req := model.NewRandomRequest(mFP.Config, 8, rng)
+	labels := make([]float32, 8)
+	for i := range labels {
+		labels[i] = float32(i % 2)
+	}
+
+	trFP := NewTrainer(mFP, 0.05)
+	trQ := NewTrainer(mQ, 0.05)
+	for step := 0; step < 5; step++ {
+		lossFP := trFP.Step(req, labels)
+		lossQ := trQ.Step(req, labels)
+		if lossFP != lossQ {
+			t.Fatalf("step %d: quantized-model loss %v != fp32 loss %v — training forward read the int8 snapshot", step, lossQ, lossFP)
+		}
+	}
+	for i := range mFP.SLS {
+		a, b := mFP.SLS[i].Table.W.Data(), mQ.SLS[i].Table.W.Data()
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("table %d diverged from the fp32 twin after training", i)
+			}
+		}
+	}
+
+	// The int8 snapshot must equal a fresh re-quantization of the
+	// updated fp32 table: touched rows were re-quantized in the step,
+	// untouched rows never went stale.
+	for i, op := range mQ.SLS {
+		row := make([]float32, op.Table.Cols)
+		want := make([]float32, op.Table.Cols)
+		fresh := nn.Quantize(op.Table)
+		for r := 0; r < op.Table.Rows; r++ {
+			op.Quant.Row(r, row)
+			fresh.Row(r, want)
+			for c := range row {
+				if row[c] != want[c] {
+					t.Fatalf("table %d row %d: int8 snapshot stale after sparse update", i, r)
+				}
+			}
+		}
 	}
 }
 
