@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet fmt-check race lint verify bench bench-hot bench-regress fuzz
+.PHONY: build test vet fmt-check race lint verify bench bench-hot bench-regress fuzz test-gotier
 
 build:
 	$(GO) build ./...
@@ -58,3 +58,10 @@ bench-hot:
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzValidateRequest -fuzztime $(FUZZTIME) ./internal/model
 	$(GO) test -run xxx -fuzz FuzzRankRequestDecode -fuzztime $(FUZZTIME) ./internal/engine
+	$(GO) test -run xxx -fuzz FuzzGemmKernelEquiv -fuzztime $(FUZZTIME) ./internal/tensor
+
+# The kernel-bearing packages with dispatch forced to the pure-Go
+# reference tier — the CI matrix leg that keeps the portable fallback
+# green (see DESIGN.md "Kernel dispatch").
+test-gotier:
+	RECSYS_KERNEL=go $(GO) test ./internal/tensor ./internal/nn

@@ -490,6 +490,36 @@ func BenchmarkSLSGatherBigInt8Naive(b *testing.B) {
 	benchmarkSLSGatherAt(b, 1_000_000, slsGatherBench{s: 1.1, int8Table: true, naive: true})
 }
 
+// benchmarkFCRM times the acceptance-shape FC layer (batch 256,
+// 512→256 — the RM-scale GEMM of the kernel-dispatch tentpole) on the
+// serving path with one worker, fp32 packed GEMM or int8 compute.
+// Both variants carry the zero-alloc contract via the regression gate.
+func benchmarkFCRM(b *testing.B, int8Compute bool) {
+	rng := stats.NewRNG(9)
+	fc := nn.NewFC("bench", 512, 256, rng)
+	fc.SetInt8Compute(int8Compute)
+	x := tensor.New(256, 512)
+	xd := x.Data()
+	for i := range xd {
+		xd[i] = rng.Float32()*2 - 1
+	}
+	arena := tensor.NewArena()
+	for i := 0; i < 2; i++ { // warm: pack/quantize weights, grow slabs
+		arena.Reset()
+		fc.ForwardEx(x, arena, 1)
+	}
+	arena.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		fc.ForwardEx(x, arena, 1)
+	}
+}
+
+func BenchmarkFCRMBatch256(b *testing.B)     { benchmarkFCRM(b, false) }
+func BenchmarkFCInt8RMBatch256(b *testing.B) { benchmarkFCRM(b, true) }
+
 // benchmarkForwardHot is benchmarkForward on the arena-backed hot
 // path. With workers == 1 the steady-state pass must report 0
 // allocs/op — the tentpole's allocation contract.

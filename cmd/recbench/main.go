@@ -11,19 +11,27 @@
 //	recbench -tables 8 -rows 1e6 -lookups 32  # a custom model
 //	recbench -model rmc3 -machine Skylake -batch 128 -tenants 4
 //	recbench -model rmc2-int8 -measure -zipf 1.1 -emb-cache 4096
+//	recbench -fig10 -peak-gflops 67.2         # GEMM roofline sweep
 //
 // With -measure, an "-int8" preset suffix serves row-wise quantized
-// embedding tables, -zipf s draws sparse IDs from a per-table Zipf(s)
-// generator (fresh draw every pass; 0 = uniform), and -emb-cache N
-// attaches a read-through hot-row cache of N rows per table and
-// reports its hit rates — the measurement harness behind the cache
-// experiments in EXPERIMENTS.md.
+// embedding tables and an "-int8mlp" suffix additionally runs the
+// bottom/top MLPs in int8 compute; -zipf s draws sparse IDs from a
+// per-table Zipf(s) generator (fresh draw every pass; 0 = uniform),
+// and -emb-cache N attaches a read-through hot-row cache of N rows per
+// table and reports its hit rates — the measurement harness behind the
+// cache experiments in EXPERIMENTS.md.
+//
+// -fig10 reproduces the paper's Figure 10 axis on this host: an
+// RM-scale FC GEMM (512→256) swept over batch 1..256, reporting
+// GFLOP/s and, when -peak-gflops is given, percent of single-core
+// peak, for the active kernel tier plus the int8 compute path.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -32,6 +40,7 @@ import (
 	"recsys/internal/arch"
 	"recsys/internal/embcache"
 	"recsys/internal/model"
+	"recsys/internal/nn"
 	"recsys/internal/perf"
 	"recsys/internal/stats"
 	"recsys/internal/tensor"
@@ -49,6 +58,8 @@ func main() {
 		ht          = flag.Bool("ht", false, "hyperthread (two tenants per core)")
 
 		measure      = flag.Bool("measure", false, "run real forward passes instead of the analytic model")
+		fig10        = flag.Bool("fig10", false, "sweep an RM-scale FC GEMM over batch 1..256 and report GFLOP/s (Figure 10)")
+		peakGFLOPS   = flag.Float64("peak-gflops", 0, "with -fig10, single-core fp32 peak for the %%-of-peak column (0 = omit)")
 		measureIters = flag.Int("measure-iters", 200, "measured forward passes after warmup")
 		measureScale = flag.Int("measure-scale", 100, "embedding-table shrink factor for -measure")
 		intraOp      = flag.Int("intra-op", 1, "goroutines per measured forward pass (0 = GOMAXPROCS)")
@@ -67,14 +78,24 @@ func main() {
 	)
 	flag.Parse()
 
+	if *fig10 {
+		runFig10(*measureIters, *peakGFLOPS)
+		return
+	}
+
 	// An "-int8" preset suffix (e.g. rmc2-int8) requests row-wise
-	// int8-quantized embedding tables on the measured path.
-	presetBase, int8Tables := strings.CutSuffix(strings.ToLower(*preset), "-int8")
+	// int8-quantized embedding tables on the measured path; "-int8mlp"
+	// (e.g. rmc1-int8mlp) additionally runs the MLPs in int8 compute.
+	presetBase, int8MLPs := strings.CutSuffix(strings.ToLower(*preset), "-int8mlp")
+	int8Tables := int8MLPs
+	if !int8MLPs {
+		presetBase, int8Tables = strings.CutSuffix(presetBase, "-int8")
+	}
 	var cfg model.Config
 	var err error
 	if *configPath != "" {
 		cfg, err = model.LoadConfig(*configPath)
-		int8Tables = false
+		int8Tables, int8MLPs = false, false
 	} else {
 		cfg, err = resolveConfig(presetBase, *dense, *bottom, *top, *tables, int(*rows), *dim, *lookups, *interact)
 	}
@@ -83,7 +104,7 @@ func main() {
 		os.Exit(1)
 	}
 	if (int8Tables || *zipfS != 0 || *embCache != 0) && !*measure {
-		fmt.Fprintln(os.Stderr, "recbench: -int8 presets, -zipf, and -emb-cache require -measure (the analytic model is fp32/uniform)")
+		fmt.Fprintln(os.Stderr, "recbench: -int8/-int8mlp presets, -zipf, and -emb-cache require -measure (the analytic model is fp32/uniform)")
 		os.Exit(1)
 	}
 	if *saveConfig != "" {
@@ -95,7 +116,7 @@ func main() {
 		return
 	}
 	if *measure {
-		if err := runMeasure(cfg, *batch, *measureScale, *measureIters, *intraOp, int8Tables, *zipfS, *embCache, *embPolicy); err != nil {
+		if err := runMeasure(cfg, *batch, *measureScale, *measureIters, *intraOp, int8Tables, int8MLPs, *zipfS, *embCache, *embPolicy); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -122,7 +143,7 @@ func main() {
 // machine (as opposed to the analytic cycle model) and reports the
 // measured latency distribution — the same hot path cmd/serve runs,
 // so the -intra-op knob here mirrors engine.Options.IntraOpWorkers.
-func runMeasure(cfg model.Config, batch, scale, iters, intraOp int, int8Tables bool, zipfS float64, embCacheRows int, embPolicy string) error {
+func runMeasure(cfg model.Config, batch, scale, iters, intraOp int, int8Tables, int8MLPs bool, zipfS float64, embCacheRows int, embPolicy string) error {
 	if iters < 1 {
 		return fmt.Errorf("recbench: -measure-iters must be >= 1, got %d", iters)
 	}
@@ -135,6 +156,9 @@ func runMeasure(cfg model.Config, batch, scale, iters, intraOp int, int8Tables b
 	}
 	if int8Tables {
 		m.QuantizeTables()
+	}
+	if int8MLPs {
+		m.QuantizeMLPs()
 	}
 	var caches []*embcache.Concurrent
 	if embCacheRows > 0 {
@@ -181,6 +205,11 @@ func runMeasure(cfg model.Config, batch, scale, iters, intraOp int, int8Tables b
 		m.ForwardEx(req, arena, intraOp)
 	}
 	lat := make([]float64, 0, iters)
+	// Mallocs delta across the measured loop ÷ iters = allocs/op; the
+	// refill draws are included, so a nonzero count means the serving
+	// path itself regressed only if it exceeds the generator's share.
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		refill()
@@ -190,28 +219,88 @@ func runMeasure(cfg model.Config, batch, scale, iters, intraOp int, int8Tables b
 		lat = append(lat, float64(time.Since(t0).Microseconds()))
 	}
 	total := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
 	sample := stats.NewSample(len(lat))
 	sample.AddAll(lat)
 	tableKind := "fp32"
 	if int8Tables {
 		tableKind = "int8"
 	}
+	mlpKind := "fp32"
+	if int8MLPs {
+		mlpKind = "int8"
+	}
 	idKind := "fixed-uniform"
 	if len(idGens) > 0 {
 		idKind = idGens[0].Name()
 	}
-	fmt.Printf("%s measured on this host  batch=%d scale=%d intra-op=%d iters=%d tables=%s ids=%s\n",
-		cfg.Name, batch, scale, intraOp, iters, tableKind, idKind)
+	fmt.Printf("%s measured on this host  batch=%d scale=%d intra-op=%d iters=%d tables=%s mlps=%s ids=%s kernel=%s\n",
+		cfg.Name, batch, scale, intraOp, iters, tableKind, mlpKind, idKind, tensor.KernelTier())
 	fmt.Printf("p50 %.1fµs  p95 %.1fµs  p99 %.1fµs  mean %.1fµs\n",
 		sample.Percentile(50), sample.Percentile(95), sample.Percentile(99),
 		float64(total.Microseconds())/float64(iters))
-	fmt.Printf("throughput: %.0f items/s\n", float64(batch*iters)/total.Seconds())
+	fmt.Printf("throughput: %.0f items/s  allocs/op: %.1f\n",
+		float64(batch*iters)/total.Seconds(),
+		float64(msAfter.Mallocs-msBefore.Mallocs)/float64(iters))
 	for i, c := range caches {
 		ls := c.Stats()
 		fmt.Printf("emb-cache table %d: cap %d rows  hit rate %.1f%%  (%d hits, %d misses, %d evictions)\n",
 			i, c.Capacity(), 100*ls.HitRate(), ls.Hits, ls.Misses, ls.Evictions)
 	}
 	return nil
+}
+
+// runFig10 is the paper's Figure 10 axis measured on this host: FC
+// GEMM throughput as a function of batch size. The shape is the
+// RM-scale 512→256 layer; each batch 1..256 (powers of two) runs the
+// serving path's packed GEMM on one core (workers=1 — the figure is a
+// per-core roofline, parallel scaling is a separate axis) plus the
+// int8 compute path. With -peak-gflops the fp32 column is also
+// reported as percent of single-core peak (e.g. 67.2 for a 2.1 GHz
+// core with two 8-wide FMA ports).
+func runFig10(iters int, peak float64) {
+	const in, out = 512, 256
+	fmt.Printf("Figure 10 sweep: FC %d→%d, kernel=%s, iters=%d\n", in, out, tensor.KernelTier(), iters)
+	header := fmt.Sprintf("%7s %12s %14s", "batch", "fp32 µs/op", "fp32 GFLOP/s")
+	if peak > 0 {
+		header += fmt.Sprintf(" %8s", "% peak")
+	}
+	header += fmt.Sprintf(" %12s %14s", "int8 µs/op", "int8 GOP/s")
+	fmt.Println(header)
+	rng := stats.NewRNG(1)
+	fp32 := nn.NewFC("fig10", in, out, rng)
+	int8 := nn.NewFC("fig10-int8", in, out, rng)
+	int8.SetInt8Compute(true)
+	for batch := 1; batch <= 256; batch *= 2 {
+		x := tensor.New(batch, in)
+		xd := x.Data()
+		for i := range xd {
+			xd[i] = rng.Float32()*2 - 1
+		}
+		ops := 2 * float64(batch) * in * out
+		timeFC := func(fc *nn.FC) (usPerOp, gops float64) {
+			arena := tensor.NewArena()
+			for i := 0; i < 3; i++ { // warmup: pack/quantize, grow arena
+				arena.Reset()
+				fc.ForwardEx(x, arena, 1)
+			}
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				arena.Reset()
+				fc.ForwardEx(x, arena, 1)
+			}
+			el := time.Since(t0).Seconds()
+			return el / float64(iters) * 1e6, ops * float64(iters) / el / 1e9
+		}
+		fpUS, fpG := timeFC(fp32)
+		qUS, qG := timeFC(int8)
+		row := fmt.Sprintf("%7d %12.1f %14.1f", batch, fpUS, fpG)
+		if peak > 0 {
+			row += fmt.Sprintf(" %7.1f%%", 100*fpG/peak)
+		}
+		row += fmt.Sprintf(" %12.1f %14.1f", qUS, qG)
+		fmt.Println(row)
+	}
 }
 
 func resolveConfig(preset string, dense int, bottom, top string, tables, rows, dim, lookups int, interact string) (model.Config, error) {

@@ -28,7 +28,9 @@
 // embedding table (eviction policy via -emb-cache-policy); hit/miss/
 // eviction counters appear in GET /stats and /metrics. A preset with
 // an "-int8" suffix (e.g. rmc2-int8) serves row-wise int8-quantized
-// embedding tables, where the cache also amortizes dequantization.
+// embedding tables, where the cache also amortizes dequantization; an
+// "-int8mlp" suffix additionally runs the bottom/top MLPs in int8
+// compute (quantized integer GEMM).
 //
 // On SIGINT/SIGTERM, serve stops accepting connections, waits up to
 // -drain for in-flight requests, then drains the engine and exits.
@@ -222,7 +224,13 @@ func buildSpec(spec string, defaultScale int, rng *stats.RNG) (name string, m *m
 	// An "-int8" suffix (e.g. rmc2-int8) serves the preset with
 	// row-wise int8-quantized embedding tables (§ memory-capacity
 	// pressure; fp32 weights are retained as the source of truth).
-	base, int8Tables := strings.CutSuffix(strings.ToLower(rest), "-int8")
+	// "-int8mlp" (e.g. rmc1-int8mlp) additionally runs the bottom/top
+	// MLPs in int8 compute.
+	base, int8MLPs := strings.CutSuffix(strings.ToLower(rest), "-int8mlp")
+	int8Tables := int8MLPs
+	if !int8MLPs {
+		base, int8Tables = strings.CutSuffix(base, "-int8")
+	}
 	var cfg model.Config
 	switch base {
 	case "rmc1":
@@ -245,6 +253,9 @@ func buildSpec(spec string, defaultScale int, rng *stats.RNG) (name string, m *m
 	}
 	if int8Tables {
 		m.QuantizeTables()
+	}
+	if int8MLPs {
+		m.QuantizeMLPs()
 	}
 	return name, m, weight, nil
 }

@@ -209,10 +209,13 @@ func TestBuildSpec(t *testing.T) {
 		{"rmc1", "default", 1, true},
 		{"filter=rmc1:500@2", "filter", 2, true},
 		{"ranker=rmc3:500", "ranker", 1, true},
+		{"q=rmc2-int8:500", "q", 1, true},
+		{"qm=rmc1-int8mlp:500", "qm", 1, true},
 		{"=rmc1", "", 0, false},
 		{"rmc1@0", "", 0, false},
 		{"rmc1:-5", "", 0, false},
 		{"nope", "", 0, false},
+		{"rmc1-int8mlpx", "", 0, false},
 	}
 	rng := stats.NewRNG(1)
 	for _, c := range cases {
@@ -226,6 +229,13 @@ func TestBuildSpec(t *testing.T) {
 		}
 		if name != c.name || weight != c.weight || m == nil {
 			t.Errorf("buildSpec(%q) = (%q, %v, %d), want (%q, _, %d)", c.spec, name, m, weight, c.name, c.weight)
+		}
+		// Suffix semantics: -int8 quantizes tables only, -int8mlp both.
+		wantTables := strings.Contains(c.spec, "-int8")
+		wantMLPs := strings.Contains(c.spec, "-int8mlp")
+		if m.Quantized() != wantTables || m.Int8MLPs() != wantMLPs {
+			t.Errorf("buildSpec(%q): tables=%v mlps=%v, want %v/%v",
+				c.spec, m.Quantized(), m.Int8MLPs(), wantTables, wantMLPs)
 		}
 	}
 }

@@ -45,10 +45,8 @@ func TestRankMatchesDirectForward(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("served CTR %d differs: %v vs %v", i, got[i], want[i])
-		}
+	if !ctrClose(got, want) {
+		t.Fatalf("served CTR differs: %v vs %v", got, want)
 	}
 }
 
@@ -85,10 +83,8 @@ func TestBatchingIsTransparent(t *testing.T) {
 		if errs[i] != nil {
 			t.Fatalf("request %d: %v", i, errs[i])
 		}
-		for k := range wants[i] {
-			if gots[i][k] != wants[i][k] {
-				t.Fatalf("request %d sample %d: %v vs %v", i, k, gots[i][k], wants[i][k])
-			}
+		if !ctrClose(gots[i], wants[i]) {
+			t.Fatalf("request %d: %v vs %v", i, gots[i], wants[i])
 		}
 	}
 	// Coalescing must actually have happened.

@@ -49,13 +49,8 @@ func TestMergeBufferReuse(t *testing.T) {
 		for i := range reqs {
 			go func(i int) {
 				got, err := s.Rank(context.Background(), reqs[i])
-				if err == nil {
-					for j := range wants[i] {
-						if got[j] != wants[i][j] {
-							err = errMismatch
-							break
-						}
-					}
+				if err == nil && !ctrClose(got, wants[i]) {
+					err = errMismatch
 				}
 				errc <- err
 			}(i)

@@ -83,10 +83,8 @@ func TestAdmissionRejectsMalformed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for k := range want {
-		if got[k] != want[k] {
-			t.Fatal("served CTR differs from direct execution after rejections")
-		}
+	if !ctrClose(got, want) {
+		t.Fatal("served CTR differs from direct execution after rejections")
 	}
 	st, _ := e.ModelStats("m")
 	if st.Requests != 1 || st.Rejected != int64(len(bad)) {
@@ -146,11 +144,9 @@ func TestBadIDsColocatedUnderRace(t *testing.T) {
 				errCh <- err
 				return
 			}
-			for k := range want {
-				if got[k] != want[k] {
-					errCh <- errors.New("bystander CTR drifted during attack")
-					return
-				}
+			if !ctrClose(got, want) {
+				errCh <- errors.New("bystander CTR drifted during attack")
+				return
 			}
 		}
 	}()

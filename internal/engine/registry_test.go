@@ -97,11 +97,9 @@ func TestColocatedModelsEndToEnd(t *testing.T) {
 				errCh <- err
 				return
 			}
-			for k := range want {
-				if got[k] != want[k] {
-					errCh <- errors.New(name + ": served CTR differs from direct execution")
-					return
-				}
+			if !ctrClose(got, want) {
+				errCh <- errors.New(name + ": served CTR differs from direct execution")
+				return
 			}
 		}
 	}
@@ -315,7 +313,7 @@ func TestServerWrapperEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := side.CTR(req)
-	if got[0] != want[0] {
+	if !ctrClose(got[:1], want[:1]) {
 		t.Error("co-located model served wrong scores")
 	}
 	// Wrapper stats still report only the primary model.

@@ -31,8 +31,11 @@ func TestForwardExMatchesForward(t *testing.T) {
 			for _, workers := range []int{0, 1, 2, 5} {
 				arena.Reset()
 				got := m.ForwardEx(req, arena, workers)
-				if !tensor.Equal(got, want, 0) {
-					t.Fatalf("%s batch %d workers %d: hot path not bit-identical", cfg.Name, batch, workers)
+				// Bit-identical on the Go kernel tier; on AVX2 the
+				// FMA-fused GEMMs are held to the epsilon contract (512
+				// bounds the widest FC inner dimension in these configs).
+				if !tensor.GemmClose(got, want, 512) {
+					t.Fatalf("%s batch %d workers %d: hot path deviates from reference", cfg.Name, batch, workers)
 				}
 			}
 		}
@@ -73,8 +76,19 @@ func TestAppendCTRMatchesCTR(t *testing.T) {
 	if len(got) != len(want) {
 		t.Fatalf("AppendCTR length %d, want %d", len(got), len(want))
 	}
+	// CTR goes through Forward (reference GEMM), AppendCTR through the
+	// packed hot path — exact on the Go tier, epsilon on AVX2.
+	ctrTol := float32(0)
+	if !tensor.GemmBitExact() {
+		_, atol := tensor.GemmTol(512)
+		ctrTol = float32(atol)
+	}
 	for i := range want {
-		if got[i] != want[i] {
+		d := got[i] - want[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > ctrTol {
 			t.Fatalf("AppendCTR[%d] = %v, want %v", i, got[i], want[i])
 		}
 	}
@@ -110,8 +124,8 @@ func TestForwardSpansEmitsEveryStage(t *testing.T) {
 		want := m.Forward(req)
 		var rec spanRecord
 		got := m.ForwardSpans(req, tensor.NewArena(), 2, &rec)
-		if !tensor.Equal(got, want, 0) {
-			t.Errorf("%s: instrumented pass not bit-identical", cfg.Name)
+		if !tensor.GemmClose(got, want, 512) {
+			t.Errorf("%s: instrumented pass deviates from reference", cfg.Name)
 		}
 		wantSpans := len(cfg.Tables) + 3 // SLS each + concat + top + sigmoid
 		if cfg.DenseIn > 0 {

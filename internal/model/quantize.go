@@ -20,6 +20,30 @@ func (m *Model) QuantizeTables() *Model {
 	return m
 }
 
+// QuantizeMLPs switches the bottom and top MLP stacks to int8 compute
+// on the serving path (nn.FC's quantized integer GEMM): per-channel
+// symmetric int8 weights, dynamic per-row uint8 activations, and
+// u8·s8→i32 dot products. The fp32 weights stay the source of truth —
+// Forward and the trainer are untouched, and InvalidatePacked
+// re-quantizes after weight updates. Returns the model for chaining;
+// presets select it with the "-int8mlp" model-spec suffix.
+func (m *Model) QuantizeMLPs() *Model {
+	if m.Bottom != nil {
+		m.Bottom.SetInt8Compute(true)
+	}
+	m.Top.SetInt8Compute(true)
+	return m
+}
+
+// Int8MLPs reports whether the MLP stacks run int8 compute (the bottom
+// stack is exempt when the model has no dense path).
+func (m *Model) Int8MLPs() bool {
+	if m.Bottom != nil && !m.Bottom.Int8Compute() {
+		return false
+	}
+	return m.Top.Int8Compute()
+}
+
 // Quantized reports whether every embedding table has an int8 serving
 // representation attached.
 func (m *Model) Quantized() bool {

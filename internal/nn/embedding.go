@@ -66,12 +66,21 @@ func checkLengths(ids, lengths []int) {
 }
 
 // accumRow sums the addressed table rows into dst (len Cols). IDs must
-// already be validated; the loop carries no per-ID range check. The
-// common production widths 32 and 64 (Table I) take fixed-size array
-// paths so the compiler drops bounds checks and fully vectorizes the
-// element loop — the SIMD batching the paper leans on for SLS (§V).
+// already be validated; the loop carries no per-ID range check. On the
+// AVX2 kernel tier each row add runs through tensor.AddF32 (8 lanes per
+// step, bit-identical to the scalar loop) — the SIMD batching the paper
+// leans on for SLS (§V). On the pure-Go tier the common production
+// widths 32 and 64 (Table I) take fixed-size array paths so the
+// compiler drops bounds checks in the element loop.
 func (e *EmbeddingTable) accumRow(dst []float32, rowIDs []int) {
 	w := e.W.Data()
+	if tensor.SIMDActive() {
+		cols := e.Cols
+		for _, id := range rowIDs {
+			tensor.AddF32(dst, w[id*cols:id*cols+cols])
+		}
+		return
+	}
 	switch e.Cols {
 	case 32:
 		d := (*[32]float32)(dst)

@@ -24,6 +24,12 @@ type FC struct {
 	// rather than once per request. InvalidatePacked drops it after a
 	// weight update.
 	packed atomic.Pointer[tensor.PackedB]
+
+	// int8Compute switches ForwardEx to the quantized integer GEMM
+	// path; quant lazily caches the int8 weight representation, also
+	// dropped by InvalidatePacked. See qlinear.go.
+	int8Compute bool
+	quant       atomic.Pointer[QuantizedLinear]
 }
 
 // NewFC returns an FC layer with Xavier/Glorot-uniform initialized
@@ -55,9 +61,7 @@ func (f *FC) Kind() Kind { return KindFC }
 // path (plain blocked GEMM, no weight packing) that the fast path in
 // ForwardEx is tested bit-identical against.
 func (f *FC) Forward(x *tensor.Tensor) *tensor.Tensor {
-	if x.Rank() != 2 || x.Dim(1) != f.In {
-		panic(fmt.Sprintf("nn: FC %q input shape %v, want [batch %d]", f.label, x.Shape(), f.In))
-	}
+	f.checkIn(x)
 	y := tensor.New(x.Dim(0), f.Out)
 	tensor.Gemm(x, f.W, y)
 	tensor.AddBiasRows(y, f.B)
@@ -68,10 +72,14 @@ func (f *FC) Forward(x *tensor.Tensor) *tensor.Tensor {
 // cached packed weights and, above the kernel's work threshold, is
 // split row-wise across workers goroutines (1 = serial, 0 =
 // GOMAXPROCS). The output comes from the arena when one is supplied.
-// Results are bit-identical to Forward.
+// Results match Forward under the kernel-tier contract (bit-identical
+// on the Go tier, FMA-fusion epsilon on AVX2). With SetInt8Compute the
+// GEMM instead runs in int8 (see forwardInt8), trading a bounded
+// accuracy delta for integer throughput.
 func (f *FC) ForwardEx(x *tensor.Tensor, a *tensor.Arena, workers int) *tensor.Tensor {
-	if x.Rank() != 2 || x.Dim(1) != f.In {
-		panic(fmt.Sprintf("nn: FC %q input shape %v, want [batch %d]", f.label, x.Shape(), f.In))
+	f.checkIn(x)
+	if f.int8Compute {
+		return f.forwardInt8(x, a, workers)
 	}
 	y := allocDense(a, x.Dim(0), f.Out)
 	tensor.ParallelGemmPacked(x, f.packedW(), y, workers)
@@ -91,10 +99,13 @@ func (f *FC) packedW() *tensor.PackedB {
 	return pb
 }
 
-// InvalidatePacked drops the cached packed weights. Anything that
-// mutates W (the trainer's optimizer, checkpoint restore) must call
-// this before the next ForwardEx.
-func (f *FC) InvalidatePacked() { f.packed.Store(nil) }
+// InvalidatePacked drops the cached packed weights and the cached int8
+// quantization. Anything that mutates W (the trainer's optimizer,
+// checkpoint restore) must call this before the next ForwardEx.
+func (f *FC) InvalidatePacked() {
+	f.packed.Store(nil)
+	f.quant.Store(nil)
+}
 
 // ParamCount returns the number of learnable parameters.
 func (f *FC) ParamCount() int { return f.In*f.Out + f.Out }
@@ -159,9 +170,28 @@ func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return x
 }
 
+// SetInt8Compute flips every layer of the stack between fp32 and int8
+// compute. Not safe to call concurrently with in-flight forwards.
+func (m *MLP) SetInt8Compute(on bool) {
+	for _, fc := range m.Layers {
+		fc.SetInt8Compute(on)
+	}
+}
+
+// Int8Compute reports whether the stack runs the int8 path (true when
+// every layer does).
+func (m *MLP) Int8Compute() bool {
+	for _, fc := range m.Layers {
+		if !fc.Int8Compute() {
+			return false
+		}
+	}
+	return len(m.Layers) > 0
+}
+
 // ForwardEx runs the stack on the inference hot path (packed weights,
-// optional arena, intra-op workers). Results are bit-identical to
-// Forward.
+// optional arena, intra-op workers). Results match Forward under the
+// kernel-tier contract.
 func (m *MLP) ForwardEx(x *tensor.Tensor, a *tensor.Arena, workers int) *tensor.Tensor {
 	for i, fc := range m.Layers {
 		x = fc.ForwardEx(x, a, workers)

@@ -218,12 +218,24 @@ func (s *SLSOp) stageRows(staging *tensor.Tensor, uniq []int64, lo, hi int, gen 
 }
 
 // accumStaged pools output rows [kLo, kHi) from staged rows via plan
-// indices, in original per-sample ID order. Mirrors accumRow's
-// fixed-width 32/64 specializations (bounds-check-free, vectorizable);
-// the default path covers the narrow NCF widths.
+// indices, in original per-sample ID order. On the AVX2 tier each
+// staged-row add runs through tensor.AddF32 (bit-identical to the
+// scalar loop); the pure-Go tier mirrors accumRow's fixed-width 32/64
+// specializations (bounds-check-free), with the default path covering
+// the narrow NCF widths.
 func (s *SLSOp) accumStaged(out, staging *tensor.Tensor, index []int32, kLo, kHi int) {
 	sd := staging.Data()
 	l := s.Lookups
+	if tensor.SIMDActive() {
+		cols := s.Table.Cols
+		for k := kLo; k < kHi; k++ {
+			d := out.Row(k)
+			for _, u := range index[k*l : (k+1)*l] {
+				tensor.AddF32(d, sd[int(u)*cols:int(u)*cols+cols])
+			}
+		}
+		return
+	}
 	switch s.Table.Cols {
 	case 32:
 		for k := kLo; k < kHi; k++ {
@@ -260,24 +272,20 @@ func (s *SLSOp) accumStaged(out, staging *tensor.Tensor, index []int32, kLo, kHi
 }
 
 // forwardQuantNaive is the plan-free int8 reference: dequantize every
-// occurrence on the fly, exactly like QuantizedTable.SparseLengthsSum
-// with a uniform lengths vector. It is the equivalence baseline (and
-// the fallback for gathers too large for a plan); with an arena it
-// runs allocation-free so benchmarks can compare it fairly against the
-// planned gather.
+// occurrence on the fly via the fused dequantize-accumulate kernel,
+// exactly like QuantizedTable.SparseLengthsSum with a uniform lengths
+// vector. It is the equivalence baseline (and the fallback for gathers
+// too large for a plan); with an arena it runs allocation-free so
+// benchmarks can compare it fairly against the planned gather.
 func (s *SLSOp) forwardQuantNaive(ids []int, batch int, a *tensor.Arena) *tensor.Tensor {
 	cols := s.Table.Cols
 	out := allocDense(a, batch, cols)
 	s.Table.validateIDs(ids)
-	row := allocDenseUninit(a, 1, cols).Data()
 	l := s.Lookups
 	for k := 0; k < batch; k++ {
 		d := out.Row(k)
 		for _, id := range ids[k*l : (k+1)*l] {
-			s.Quant.Row(id, row)
-			for i, v := range row {
-				d[i] += v
-			}
+			s.Quant.AccumRow(id, d)
 		}
 	}
 	if s.Mean {

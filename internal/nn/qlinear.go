@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"recsys/internal/tensor"
+)
+
+// QuantizedLinear is the int8 compute representation of an FC weight
+// matrix: per-output-channel symmetric int8 weights plus the
+// per-channel sums needed to correct for the activations' zero point.
+// Together with dynamic per-row uint8 activation quantization it turns
+// Y = X·W into an int8×int8→int32 GEMM (tensor.DotU8S8) followed by a
+// per-element affine rescale — the FBGEMM-style quantized FC path that
+// trades bounded accuracy loss for ~4× less weight traffic and wider
+// integer SIMD.
+//
+// Layout: codes is column-major — codes[j*In:(j+1)*In] holds output
+// channel j — so each output dot product streams both operands with
+// unit stride.
+type QuantizedLinear struct {
+	In, Out int
+	codes   []int8
+	scale   []float32 // per output channel: fp32 weight ≈ code · scale
+	colSum  []int32   // per output channel: Σ_i codes[j*In+i]
+}
+
+// QuantizeLinear builds the int8 representation of a [In, Out] weight
+// tensor. Each output channel j is quantized symmetrically:
+// scale_j = maxabs(W[:,j])/127, codes rounded to nearest.
+func QuantizeLinear(w *tensor.Tensor) *QuantizedLinear {
+	if w.Rank() != 2 {
+		panic("nn: QuantizeLinear requires a rank-2 weight tensor")
+	}
+	in, out := w.Dim(0), w.Dim(1)
+	q := &QuantizedLinear{
+		In: in, Out: out,
+		codes:  make([]int8, in*out),
+		scale:  make([]float32, out),
+		colSum: make([]int32, out),
+	}
+	wd := w.Data()
+	for j := 0; j < out; j++ {
+		var maxAbs float32
+		for i := 0; i < in; i++ {
+			v := wd[i*out+j]
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+		s := maxAbs / 127
+		if s == 0 {
+			s = 1 // all-zero channel: every code quantizes to 0
+		}
+		q.scale[j] = s
+		inv := 1 / s
+		col := q.codes[j*in : (j+1)*in]
+		var sum int32
+		for i := 0; i < in; i++ {
+			c := int8(math.Round(float64(wd[i*out+j] * inv)))
+			col[i] = c
+			sum += int32(c)
+		}
+		q.colSum[j] = sum
+	}
+	return q
+}
+
+// quantizeRowU8 quantizes one activation row to uint8 with a dynamic
+// asymmetric range covering [min(0,lo), max(0,hi)] (zero always
+// representable, so ReLU outputs and the zero point stay exact-ish).
+// dst[i] = clamp(round(src[i]/scale) + zp); the caller reconstructs
+// x ≈ (dst[i] − zp)·scale. An all-zero row returns scale 1, zp 0.
+func quantizeRowU8(src []float32, dst []uint8) (scale float32, zp int32) {
+	var lo, hi float32
+	for _, v := range src {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	scale = (hi - lo) / 255
+	if scale == 0 {
+		clear(dst)
+		return 1, 0
+	}
+	inv := 1 / scale
+	zp = int32(math.Round(float64(-lo * inv)))
+	for i, v := range src {
+		c := int32(math.Round(float64(v*inv))) + zp
+		if c < 0 {
+			c = 0
+		} else if c > 255 {
+			c = 255
+		}
+		dst[i] = uint8(c)
+	}
+	return scale, zp
+}
+
+// SetInt8Compute switches the layer's ForwardEx between the fp32
+// packed GEMM and the int8 compute path. Like SetRowCache, it must not
+// race with in-flight forwards — presets flip it before a model is
+// published. Forward (the reference path) and the trainer's fp32 pass
+// are never redirected.
+func (f *FC) SetInt8Compute(on bool) { f.int8Compute = on }
+
+// Int8Compute reports whether ForwardEx runs the int8 path.
+func (f *FC) Int8Compute() bool { return f.int8Compute }
+
+// quantizedW returns the cached int8 weights, quantizing on first use.
+// Mirrors packedW: concurrent first calls may quantize twice, one
+// result wins. InvalidatePacked drops this cache too.
+func (f *FC) quantizedW() *QuantizedLinear {
+	if q := f.quant.Load(); q != nil {
+		return q
+	}
+	q := QuantizeLinear(f.W)
+	f.quant.Store(q)
+	return q
+}
+
+// forwardInt8 computes Y ≈ X·W + b in int8: each activation row is
+// quantized to uint8 on the fly (dynamic range, asymmetric zero
+// point), each output element is one u8·s8 integer dot product, and
+// the zero-point correction zp·colSum restores the affine mapping:
+//
+//	Y[r][j] = (Σ_i xq[r][i]·wq[i][j] − zp_r·colSum_j)·(sx_r·sw_j) + b[j]
+//
+// Accuracy: per element the quantization error is bounded by
+// Σ_i (sx/2·|ŵ_ij| + |x_i|·sw_j/2) — asserted against the fp32 twin in
+// tests. The integer dots are exact on every kernel tier, so the int8
+// path itself is bit-identical across tiers.
+func (f *FC) forwardInt8(x *tensor.Tensor, a *tensor.Arena, workers int) *tensor.Tensor {
+	batch := x.Dim(0)
+	in, out := f.In, f.Out
+	// Every element of y is written below, so skip the arena zero fill.
+	y := allocDenseUninit(a, batch, out)
+	q := f.quantizedW()
+	var xq []uint8
+	if a != nil {
+		xq = a.AllocU8(batch * in)
+	} else {
+		xq = make([]uint8, batch*in)
+	}
+	xd := x.Data()
+	// The serial path calls int8Rows directly rather than through a
+	// closure: a closure passed to ParallelFor escapes to the heap, and
+	// the steady-state serving path must stay allocation-free.
+	if workers = clampWorkersRows(workers, batch, batch*in*out); workers <= 1 {
+		f.int8Rows(q, xd, xq, y.Data(), 0, batch)
+	} else {
+		yd := y.Data()
+		tensor.ParallelFor(batch, workers, func(lo, hi int) {
+			f.int8Rows(q, xd, xq, yd, lo, hi)
+		})
+	}
+	return y
+}
+
+// int8Rows runs the int8 forward for output rows [lo, hi). Rows are
+// independent, so any row partition produces bit-identical results.
+func (f *FC) int8Rows(q *QuantizedLinear, xd []float32, xq []uint8, yd []float32, lo, hi int) {
+	in, out := f.In, f.Out
+	for r := lo; r < hi; r++ {
+		qrow := xq[r*in : (r+1)*in]
+		sx, zp := quantizeRowU8(xd[r*in:(r+1)*in], qrow)
+		yrow := yd[r*out : (r+1)*out]
+		for j := 0; j < out; j++ {
+			dot := tensor.DotU8S8(qrow, q.codes[j*in:(j+1)*in])
+			yrow[j] = float32(dot-zp*q.colSum[j])*(sx*q.scale[j]) + f.B[j]
+		}
+	}
+}
+
+// clampWorkersRows mirrors tensor's GEMM worker clamp for the int8
+// path: 0 means GOMAXPROCS, never more workers than rows, and problems
+// under the fan-out threshold run serially.
+func clampWorkersRows(workers, rows, madds int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rows {
+		workers = rows
+	}
+	if madds < 1<<17 {
+		return 1
+	}
+	return workers
+}
+
+// checkIn panics with the layer's shape expectation (shared by
+// Forward and both ForwardEx branches).
+func (f *FC) checkIn(x *tensor.Tensor) {
+	if x.Rank() != 2 || x.Dim(1) != f.In {
+		panic(fmt.Sprintf("nn: FC %q input shape %v, want [batch %d]", f.label, x.Shape(), f.In))
+	}
+}

@@ -77,7 +77,9 @@ func (q *QuantizedTable) SizeBytes() int64 {
 	return int64(q.Rows)*int64(q.Cols) + int64(q.Rows)*8
 }
 
-// Row dequantizes row r into dst (length Cols).
+// Row dequantizes row r into dst (length Cols). The kernel
+// (tensor.DequantI8) is bit-identical across tiers: the AVX2 path
+// converts 8 codes per step but keeps the scalar operation order.
 func (q *QuantizedTable) Row(r int, dst []float32) {
 	if r < 0 || r >= q.Rows {
 		panic(fmt.Sprintf("nn: quantized row %d out of range [0,%d)", r, q.Rows))
@@ -85,11 +87,20 @@ func (q *QuantizedTable) Row(r int, dst []float32) {
 	if len(dst) != q.Cols {
 		panic(fmt.Sprintf("nn: dst length %d, want %d", len(dst), q.Cols))
 	}
-	codes := q.codes[r*q.Cols : (r+1)*q.Cols]
-	s, o := q.scale[r], q.offset[r]
-	for c, code := range codes {
-		dst[c] = (float32(code)+128)*s + o
+	tensor.DequantI8(dst, q.codes[r*q.Cols:(r+1)*q.Cols], q.scale[r], q.offset[r])
+}
+
+// AccumRow adds dequantized row r into dst (length Cols) without
+// staging it — the fused dequantize-accumulate kernel. Per element it
+// produces exactly Row-then-add bits on every tier.
+func (q *QuantizedTable) AccumRow(r int, dst []float32) {
+	if r < 0 || r >= q.Rows {
+		panic(fmt.Sprintf("nn: quantized row %d out of range [0,%d)", r, q.Rows))
 	}
+	if len(dst) != q.Cols {
+		panic(fmt.Sprintf("nn: dst length %d, want %d", len(dst), q.Cols))
+	}
+	tensor.DequantAccumI8(dst, q.codes[r*q.Cols:(r+1)*q.Cols], q.scale[r], q.offset[r])
 }
 
 // SparseLengthsSum pools quantized rows exactly like
@@ -106,15 +117,11 @@ func (q *QuantizedTable) SparseLengthsSum(ids []int, lengths []int) *tensor.Tens
 		panic(fmt.Sprintf("nn: SparseLengthsSum lengths sum to %d but %d IDs given", total, len(ids)))
 	}
 	out := tensor.New(len(lengths), q.Cols)
-	row := make([]float32, q.Cols)
 	cur := 0
 	for k, l := range lengths {
 		outRow := out.Row(k)
 		for _, id := range ids[cur : cur+l] {
-			q.Row(id, row)
-			for i, v := range row {
-				outRow[i] += v
-			}
+			q.AccumRow(id, outRow)
 		}
 		cur += l
 	}

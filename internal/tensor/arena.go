@@ -28,6 +28,14 @@ type Arena struct {
 	used    int
 
 	ptrs []*Tensor // scratch for Ptrs
+
+	// u8slab is a separate byte slab for integer scratch (the int8
+	// compute path's quantized activations), bump-allocated like the
+	// float slab so the int8 hot path also reaches zero steady-state
+	// allocations.
+	u8slab  []uint8
+	u8off   int
+	u8total int
 }
 
 // NewArena returns an empty arena; the slab grows on demand.
@@ -123,6 +131,29 @@ func (a *Arena) allocRaw(n int) []float32 {
 	return d
 }
 
+// AllocU8 carves n uninitialized bytes from the arena's byte slab.
+// Like AllocUninit, the contents are whatever a previous pass left
+// behind — only for scratch fully overwritten before any read (the
+// int8 activation buffer is written row by row before each dot). The
+// slice is invalidated by Reset.
+func (a *Arena) AllocU8(n int) []uint8 {
+	a.u8total += n
+	if a.u8off+n > len(a.u8slab) {
+		size := 2 * len(a.u8slab)
+		if size < a.u8total {
+			size = a.u8total
+		}
+		if size < 1024 {
+			size = 1024
+		}
+		a.u8slab = make([]uint8, size)
+		a.u8off = 0
+	}
+	d := a.u8slab[a.u8off : a.u8off+n : a.u8off+n]
+	a.u8off += n
+	return d
+}
+
 // Ptrs returns a reusable []*Tensor of length n with nil entries,
 // for operator-input scratch (e.g. the Concat input list). The slice
 // is owned by the arena and overwritten by the next Ptrs call.
@@ -145,9 +176,14 @@ func (a *Arena) Reset() {
 	if a.total > len(a.slab) {
 		a.slab = make([]float32, a.total)
 	}
+	if a.u8total > len(a.u8slab) {
+		a.u8slab = make([]uint8, a.u8total)
+	}
 	a.off = 0
 	a.total = 0
 	a.used = 0
+	a.u8off = 0
+	a.u8total = 0
 }
 
 // Cap returns the slab capacity in float32 elements (for tests and

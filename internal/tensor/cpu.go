@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+)
+
+// Kernel tiers. The package selects the fastest supported tier once at
+// init; RECSYS_KERNEL overrides the choice (for CI legs that must
+// exercise the portable kernels on AVX2 hardware, and for A/B
+// measurement in cmd/recbench -fig10).
+//
+// Numerics contract: the KernelGo tier is the reference — its results
+// are bit-identical across platforms and releases. KernelAVX2 fuses
+// each multiply-add of the GEMM inner loop into one FMA (one rounding
+// instead of two) and re-associates edge-row accumulation, so fp32
+// GEMM results differ from the Go tier by a relative epsilon
+// (FloatsClose is the shared assert for that comparison). The SLS
+// kernels (AddF32, DequantI8) deliberately avoid FMA and keep the
+// per-element operation order, and the int8 kernels are integer
+// arithmetic — all three are bit-identical across tiers.
+const (
+	KernelGo   = "go"
+	KernelAVX2 = "avx2"
+)
+
+// kernelEnv is the environment variable consulted once at init to
+// force a tier: RECSYS_KERNEL=go pins the portable reference kernels,
+// RECSYS_KERNEL=avx2 demands the assembly tier (falling back with a
+// warning when the CPU lacks AVX2+FMA).
+const kernelEnv = "RECSYS_KERNEL"
+
+var (
+	// hasAVX2FMA records hardware+OS support (CPUID AVX2 and FMA, OS
+	// YMM state saving), detected once at init.
+	hasAVX2FMA bool
+	// useAVX2 is the active selection consulted by every dispatching
+	// kernel. It is written at init and by SetKernel; SetKernel must
+	// not race with running kernels (switch tiers only while no
+	// inference is in flight — tests and recbench sweeps do).
+	useAVX2 bool
+)
+
+func init() {
+	hasAVX2FMA = detectAVX2FMA()
+	useAVX2 = hasAVX2FMA
+	if env := os.Getenv(kernelEnv); env != "" {
+		if err := SetKernel(env); err != nil {
+			fmt.Fprintf(os.Stderr, "tensor: %s=%q ignored: %v\n", kernelEnv, env, err)
+		}
+	}
+}
+
+// KernelTier returns the active kernel tier (KernelGo or KernelAVX2).
+func KernelTier() string {
+	if useAVX2 {
+		return KernelAVX2
+	}
+	return KernelGo
+}
+
+// KernelSupported reports whether this machine can run the given tier.
+func KernelSupported(tier string) bool {
+	switch tier {
+	case KernelGo:
+		return true
+	case KernelAVX2:
+		return hasAVX2FMA
+	}
+	return false
+}
+
+// SetKernel selects the active kernel tier. It returns an error (and
+// leaves the selection unchanged) for an unknown tier or one this
+// machine cannot run. Not safe to call concurrently with running
+// kernels: switch tiers only between passes.
+func SetKernel(tier string) error {
+	switch tier {
+	case KernelGo:
+		useAVX2 = false
+	case KernelAVX2:
+		if !hasAVX2FMA {
+			return fmt.Errorf("tensor: kernel tier %q not supported on this CPU (need AVX2+FMA)", tier)
+		}
+		useAVX2 = true
+	default:
+		return fmt.Errorf("tensor: unknown kernel tier %q (want %q or %q)", tier, KernelGo, KernelAVX2)
+	}
+	return nil
+}
+
+// FloatsClose reports whether got and want have equal length and every
+// pair differs by at most atol + rtol·|want|. It is the shared assert
+// for asm-vs-Go fp32 comparisons, where FMA fusion makes bit equality
+// the wrong standard: a fused multiply-add performs one rounding where
+// the Go tier performs two, so a relative epsilon is the legitimate
+// bound. (The pure-Go tier stays bit-exact and does not need this.)
+func FloatsClose(got, want []float32, rtol, atol float64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		diff := float64(got[i]) - float64(want[i])
+		if diff < 0 {
+			diff = -diff
+		}
+		ref := float64(want[i])
+		if ref < 0 {
+			ref = -ref
+		}
+		if diff > atol+rtol*ref {
+			return false
+		}
+	}
+	return true
+}
+
+// TensorsClose is FloatsClose over two tensors, requiring equal shapes.
+func TensorsClose(a, b *Tensor, rtol, atol float64) bool {
+	if a.Rank() != b.Rank() {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return FloatsClose(a.data, b.data, rtol, atol)
+}
+
+// GemmBitExact reports whether the active tier's GEMM kernels are
+// bit-identical to the pure-Go reference. Equivalence tests branch on
+// this: exact comparison on the Go tier, GemmTol epsilon on AVX2.
+func GemmBitExact() bool { return !useAVX2 }
+
+// GemmTol returns the numerics-contract tolerances for comparing a
+// tier-dispatched GEMM result (inner dimension k) against the pure-Go
+// reference: rtol covers the per-FMA rounding difference on
+// well-conditioned outputs, while atol grows with k because a
+// cancelling dot product can land near zero while its rounding drift
+// scales with the sum of term magnitudes (measured drift at k=512 is
+// ~3e-5; 1e-6·k leaves ~20× margin).
+func GemmTol(k int) (rtol, atol float64) { return 1e-5, 1e-6 * float64(k) }
+
+// GemmClose compares a GEMM output against the reference under the
+// active tier's contract: bit equality on the Go tier, GemmTol(k)
+// epsilon otherwise. k is the GEMM inner dimension (use the largest
+// layer width when comparing whole-network outputs).
+func GemmClose(got, want *Tensor, k int) bool {
+	if GemmBitExact() {
+		return Equal(got, want, 0)
+	}
+	rtol, atol := GemmTol(k)
+	return TensorsClose(got, want, rtol, atol)
+}

@@ -1,0 +1,41 @@
+//go:build amd64
+
+package tensor
+
+// cpuid executes the CPUID instruction with the given leaf/subleaf.
+// Implemented in cpu_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (the OS-enabled XSAVE state
+// mask). Only valid when CPUID reports OSXSAVE. Implemented in
+// cpu_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+// detectAVX2FMA reports whether this CPU and OS can run the AVX2/FMA
+// kernel tier: the CPU must advertise AVX, FMA, and AVX2, and the OS
+// must save the XMM+YMM register state across context switches
+// (XCR0 bits 1 and 2) — the same checks Go's runtime performs for its
+// own AVX2 memmove.
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		cpuidFMA     = 1 << 12 // leaf 1 ECX
+		cpuidOSXSAVE = 1 << 27 // leaf 1 ECX
+		cpuidAVX     = 1 << 28 // leaf 1 ECX
+		cpuidAVX2    = 1 << 5  // leaf 7 EBX
+		xcr0XMM      = 1 << 1
+		xcr0YMM      = 1 << 2
+	)
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&cpuidFMA == 0 || ecx1&cpuidOSXSAVE == 0 || ecx1&cpuidAVX == 0 {
+		return false
+	}
+	if xcr0, _ := xgetbv(); xcr0&(xcr0XMM|xcr0YMM) != xcr0XMM|xcr0YMM {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&cpuidAVX2 != 0
+}

@@ -1,0 +1,141 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2/FMA GEMM micro-kernels over the PackedB panel layout (pack.go):
+// within one k-panel of kc rows, the nr=8-wide column tile for output
+// columns [j0, j0+8) is stored contiguously as kc consecutive 8-float
+// rows, so the kernels stream B with unit stride and perfect ymm
+// alignment of access pattern regardless of n.
+//
+// Numerics: each multiply-add is a fused FMA (one rounding), so
+// results differ from the pure-Go tier by a relative epsilon — see the
+// numerics contract in cpu.go.
+
+// func gemmKernel8x8(a *float32, lda int, tile *float32, c *float32, ldc int, kc int)
+//
+// Register-tiled 8-row × 8-column micro-kernel:
+//
+//	C[r][0:8] += Σ_{p<kc} A[r*lda+p] · tile[p*8 : p*8+8]   for r in 0..7
+//
+// a points at A[row0][p0] (row stride lda elements), tile at the
+// packed 8-wide column tile of the current k-panel, c at C[row0][j0]
+// (row stride ldc elements). Eight ymm accumulators (one per row) stay
+// live across the whole panel; each k-step is one tile load, eight
+// broadcasts, and eight FMAs. The two-base addressing below (DI = row
+// 0, BX = row 3) reaches all eight row pointers with scaled-index
+// modes, so the inner loop advances just three pointers.
+TEXT ·gemmKernel8x8(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), DI
+	MOVQ lda+8(FP), SI
+	MOVQ tile+16(FP), DX
+	MOVQ c+24(FP), R8
+	MOVQ ldc+32(FP), R9
+	MOVQ kc+40(FP), CX
+
+	SHLQ $2, SI           // lda in bytes
+	SHLQ $2, R9           // ldc in bytes
+	LEAQ (SI)(SI*2), R10  // 3·lda bytes
+	LEAQ (DI)(R10*1), BX  // &A[row3][p0]
+	LEAQ (R9)(R9*2), R12  // 3·ldc bytes
+	LEAQ (R8)(R9*4), R13  // &C[row4][j0]
+
+	// Load the eight C accumulator rows.
+	VMOVUPS (R8), Y0
+	VMOVUPS (R8)(R9*1), Y1
+	VMOVUPS (R8)(R9*2), Y2
+	VMOVUPS (R8)(R12*1), Y3
+	VMOVUPS (R13), Y4
+	VMOVUPS (R13)(R9*1), Y5
+	VMOVUPS (R13)(R9*2), Y6
+	VMOVUPS (R13)(R12*1), Y7
+
+loop:
+	VMOVUPS (DX), Y8          // 8-wide B tile row for this p
+	VBROADCASTSS (DI), Y9
+	VFMADD231PS Y8, Y9, Y0
+	VBROADCASTSS (DI)(SI*1), Y9
+	VFMADD231PS Y8, Y9, Y1
+	VBROADCASTSS (DI)(SI*2), Y9
+	VFMADD231PS Y8, Y9, Y2
+	VBROADCASTSS (BX), Y9
+	VFMADD231PS Y8, Y9, Y3
+	VBROADCASTSS (DI)(SI*4), Y9
+	VFMADD231PS Y8, Y9, Y4
+	VBROADCASTSS (BX)(SI*2), Y9
+	VFMADD231PS Y8, Y9, Y5
+	VBROADCASTSS (BX)(R10*1), Y9
+	VFMADD231PS Y8, Y9, Y6
+	VBROADCASTSS (BX)(SI*4), Y9
+	VFMADD231PS Y8, Y9, Y7
+	ADDQ $32, DX
+	ADDQ $4, DI
+	ADDQ $4, BX
+	DECQ CX
+	JNZ  loop
+
+	VMOVUPS Y0, (R8)
+	VMOVUPS Y1, (R8)(R9*1)
+	VMOVUPS Y2, (R8)(R9*2)
+	VMOVUPS Y3, (R8)(R12*1)
+	VMOVUPS Y4, (R13)
+	VMOVUPS Y5, (R13)(R9*1)
+	VMOVUPS Y6, (R13)(R9*2)
+	VMOVUPS Y7, (R13)(R12*1)
+	VZEROUPPER
+	RET
+
+// func gemmKernel1x8(a *float32, tile *float32, c *float32, kc int)
+//
+// Single-row edge kernel for the m%8 remainder rows:
+//
+//	C[0:8] += Σ_{p<kc} a[p] · tile[p*8 : p*8+8]
+//
+// A single accumulator keeps the per-row operation order identical to
+// one row of gemmKernel8x8 (sequential fused FMA in ascending p), so a
+// row produces the same bits whether a shard boundary routes it
+// through the 8×8 tile or this kernel — ParallelGemmPacked stays
+// bit-identical to serial GemmPacked on the AVX2 tier. The 4-way
+// unroll only amortizes loop overhead; it does not re-associate.
+TEXT ·gemmKernel1x8(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), DI
+	MOVQ tile+8(FP), DX
+	MOVQ c+16(FP), R8
+	MOVQ kc+24(FP), CX
+
+	VMOVUPS (R8), Y0
+
+	MOVQ CX, AX
+	SHRQ $2, AX
+	JZ   tail
+
+loop4:
+	VBROADCASTSS (DI), Y9
+	VFMADD231PS (DX), Y9, Y0
+	VBROADCASTSS 4(DI), Y9
+	VFMADD231PS 32(DX), Y9, Y0
+	VBROADCASTSS 8(DI), Y9
+	VFMADD231PS 64(DX), Y9, Y0
+	VBROADCASTSS 12(DI), Y9
+	VFMADD231PS 96(DX), Y9, Y0
+	ADDQ $16, DI
+	ADDQ $128, DX
+	DECQ AX
+	JNZ  loop4
+
+tail:
+	ANDQ $3, CX
+	JZ   done
+
+tail1:
+	VBROADCASTSS (DI), Y9
+	VFMADD231PS (DX), Y9, Y0
+	ADDQ $4, DI
+	ADDQ $32, DX
+	DECQ CX
+	JNZ  tail1
+
+done:
+	VMOVUPS Y0, (R8)
+	VZEROUPPER
+	RET

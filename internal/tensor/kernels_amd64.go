@@ -1,0 +1,62 @@
+//go:build amd64
+
+package tensor
+
+// Assembly kernel declarations (gemm_amd64.s, simd_amd64.s). All are
+// NOSPLIT leaf routines over caller-owned slices; //go:noescape keeps
+// the slice backing arrays off the heap.
+
+//go:noescape
+func gemmKernel8x8(a *float32, lda int, tile *float32, c *float32, ldc int, kc int)
+
+//go:noescape
+func gemmKernel1x8(a *float32, tile *float32, c *float32, kc int)
+
+//go:noescape
+func addF32(dst, src *float32, n int)
+
+//go:noescape
+func dequantI8(dst *float32, codes *int8, n int, scale, offset float32)
+
+//go:noescape
+func dequantAccumI8(dst *float32, codes *int8, n int, scale, offset float32)
+
+//go:noescape
+func dotU8S8(x *uint8, w *int8, n int) int32
+
+// gemmPackedRowsAVX2 is the assembly-tier twin of gemmPackedRowsGo:
+// the same k-panel blocking and row ownership, with full 8-row ×
+// 8-column register tiles dispatched to gemmKernel8x8, remainder rows
+// to gemmKernel1x8, and the n%8 edge columns to the shared Go edge
+// loop. Per-row accumulation proceeds panel by panel in ascending p on
+// every path — gemmKernel1x8 deliberately mirrors one row of
+// gemmKernel8x8 — so a row's bits do not depend on where shard
+// boundaries fall, and the only numeric deviation from the Go tier is
+// FMA fusion, bounded by the FloatsClose contract.
+func gemmPackedRowsAVX2(ad []float32, pb *PackedB, cd []float32, lo, hi, k, n int) {
+	for p0 := 0; p0 < k; p0 += blockSize {
+		pMax := min(p0+blockSize, k)
+		kc := pMax - p0
+		panel := pb.data[p0*n : p0*n+kc*n]
+		nFull := n &^ (nr - 1)
+		i := lo
+		for ; i+8 <= hi; i += 8 {
+			for j0 := 0; j0 < nFull; j0 += nr {
+				gemmKernel8x8(&ad[i*k+p0], k, &panel[kc*j0], &cd[i*n+j0], n, kc)
+			}
+			if nFull < n {
+				for r := i; r < i+8; r++ {
+					gemmPackedEdge(ad[r*k+p0:r*k+pMax], panel, cd[r*n:(r+1)*n], kc, nFull, n)
+				}
+			}
+		}
+		for ; i < hi; i++ {
+			for j0 := 0; j0 < nFull; j0 += nr {
+				gemmKernel1x8(&ad[i*k+p0], &panel[kc*j0], &cd[i*n+j0], kc)
+			}
+			if nFull < n {
+				gemmPackedEdge(ad[i*k+p0:i*k+pMax], panel, cd[i*n:(i+1)*n], kc, nFull, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,27 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 stubs. useAVX2 is always false off amd64 (detectAVX2FMA
+// returns false and SetKernel refuses the tier), so none of these can
+// be reached; they exist only to satisfy the dispatch call sites.
+
+func gemmPackedRowsAVX2(ad []float32, pb *PackedB, cd []float32, lo, hi, k, n int) {
+	panic("tensor: AVX2 kernel tier selected on a non-amd64 build")
+}
+
+func addF32(dst, src *float32, n int) {
+	panic("tensor: AVX2 kernel tier selected on a non-amd64 build")
+}
+
+func dequantI8(dst *float32, codes *int8, n int, scale, offset float32) {
+	panic("tensor: AVX2 kernel tier selected on a non-amd64 build")
+}
+
+func dequantAccumI8(dst *float32, codes *int8, n int, scale, offset float32) {
+	panic("tensor: AVX2 kernel tier selected on a non-amd64 build")
+}
+
+func dotU8S8(x *uint8, w *int8, n int) int32 {
+	panic("tensor: AVX2 kernel tier selected on a non-amd64 build")
+}

@@ -68,17 +68,30 @@ func checkGemmPacked(a *Tensor, pb *PackedB, c *Tensor) (m, k, n int) {
 	return m, k, n
 }
 
-// GemmPacked computes C = A·B + C against a pre-packed B. The
-// accumulation order per output element is identical to Gemm (p
-// ascending, with the same skip of zero A entries), so results are
-// bit-identical to the serial reference kernel.
+// GemmPacked computes C = A·B + C against a pre-packed B. On the
+// pure-Go kernel tier the accumulation order per output element is
+// identical to Gemm (p ascending, with the same skip of zero A
+// entries), so results are bit-identical to the serial reference
+// kernel; the AVX2/FMA tier fuses each multiply-add and is equivalent
+// within the FloatsClose epsilon contract (see cpu.go).
 func GemmPacked(a *Tensor, pb *PackedB, c *Tensor) {
 	m, k, n := checkGemmPacked(a, pb, c)
 	gemmPackedRows(a.data, pb, c.data, 0, m, k, n)
 }
 
-// gemmPackedRows runs the packed kernel over output rows [lo, hi).
+// gemmPackedRows runs the packed kernel over output rows [lo, hi),
+// dispatching to the tier selected at init (or via SetKernel).
 func gemmPackedRows(ad []float32, pb *PackedB, cd []float32, lo, hi, k, n int) {
+	if useAVX2 {
+		gemmPackedRowsAVX2(ad, pb, cd, lo, hi, k, n)
+		return
+	}
+	gemmPackedRowsGo(ad, pb, cd, lo, hi, k, n)
+}
+
+// gemmPackedRowsGo is the portable reference kernel: 8 scalar
+// accumulators per column tile, bit-identical to Gemm.
+func gemmPackedRowsGo(ad []float32, pb *PackedB, cd []float32, lo, hi, k, n int) {
 	for p0 := 0; p0 < k; p0 += blockSize {
 		pMax := min(p0+blockSize, k)
 		kc := pMax - p0
@@ -113,19 +126,29 @@ func gemmPackedRows(ad []float32, pb *PackedB, cd []float32, lo, hi, k, n int) {
 				cs[0], cs[1], cs[2], cs[3] = c0, c1, c2, c3
 				cs[4], cs[5], cs[6], cs[7] = c4, c5, c6, c7
 			}
-			if w := n - j0; w > 0 {
-				tile := panel[kc*j0 : kc*j0+kc*w]
-				t := 0
-				for _, aip := range arow {
-					if aip != 0 {
-						for jj := 0; jj < w; jj++ {
-							crow[j0+jj] += aip * tile[t+jj]
-						}
-					}
-					t += w
-				}
+			if j0 < n {
+				gemmPackedEdge(arow, panel, crow, kc, j0, n)
 			}
 		}
+	}
+}
+
+// gemmPackedEdge handles the final n%nr output columns of one row
+// within one k-panel: arow is A[i][p0:pMax], panel the packed k-panel,
+// crow the full output row. Shared by both kernel tiers (the AVX2
+// driver falls back here for edge columns), and bit-identical to the
+// original in-line loop.
+func gemmPackedEdge(arow, panel, crow []float32, kc, j0, n int) {
+	w := n - j0
+	tile := panel[kc*j0 : kc*j0+kc*w]
+	t := 0
+	for _, aip := range arow {
+		if aip != 0 {
+			for jj := 0; jj < w; jj++ {
+				crow[j0+jj] += aip * tile[t+jj]
+			}
+		}
+		t += w
 	}
 }
 
@@ -133,8 +156,9 @@ func gemmPackedRows(ad []float32, pb *PackedB, cd []float32, lo, hi, k, n int) {
 // splitting A's rows across workers goroutines (0 = GOMAXPROCS).
 // Small problems (under minParallelMAdds multiply-adds) run serially.
 // The row partition assigns each output row to exactly one worker and
-// leaves the per-row accumulation order unchanged, so results are
-// bit-identical to Gemm. Fan-out goes through ParallelFor, so a panic
+// leaves the per-row accumulation order unchanged, so results match
+// the serial GemmPacked exactly on every tier (bit-identical to Gemm
+// on the pure-Go tier). Fan-out goes through ParallelFor, so a panic
 // in any shard surfaces on the calling goroutine instead of killing
 // the process.
 func ParallelGemmPacked(a *Tensor, pb *PackedB, c *Tensor, workers int) {

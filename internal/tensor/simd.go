@@ -1,0 +1,84 @@
+package tensor
+
+import "fmt"
+
+// SIMDActive reports whether the assembly kernel tier is selected —
+// callers with their own tuned Go fallbacks (e.g. the fixed-width SLS
+// loops in internal/nn) branch on it once per row rather than paying a
+// dispatch check per element.
+func SIMDActive() bool { return useAVX2 }
+
+// AddF32 computes dst[i] += src[i] element-wise. On the AVX2 tier the
+// adds run 8 lanes wide; element order and rounding are unchanged, so
+// results are bit-identical across tiers. This is the SLS pooled-sum
+// accumulation primitive (one call per gathered row).
+func AddF32(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: AddF32 length mismatch %d vs %d", len(dst), len(src)))
+	}
+	if useAVX2 && len(dst) > 0 {
+		addF32(&dst[0], &src[0], len(dst))
+		return
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// DequantI8 computes dst[i] = (float32(codes[i])+128)·scale + offset —
+// the row-wise int8 embedding dequantization. The AVX2 path converts 8
+// codes per step but keeps the scalar operation order (add, multiply,
+// add — no FMA), so results are bit-identical across tiers.
+func DequantI8(dst []float32, codes []int8, scale, offset float32) {
+	if len(dst) != len(codes) {
+		panic(fmt.Sprintf("tensor: DequantI8 length mismatch %d vs %d", len(dst), len(codes)))
+	}
+	if useAVX2 && len(dst) > 0 {
+		dequantI8(&dst[0], &codes[0], len(dst), scale, offset)
+		return
+	}
+	for i, code := range codes {
+		dst[i] = (float32(code)+128)*scale + offset
+	}
+}
+
+// DequantAccumI8 computes dst[i] += (float32(codes[i])+128)·scale +
+// offset — the fused dequantize-accumulate that pools an int8 row
+// without staging it. The AVX2 path dequantizes with DequantI8's exact
+// operation order and adds once, so results are bit-identical to
+// dequantize-then-AddF32 on every tier.
+func DequantAccumI8(dst []float32, codes []int8, scale, offset float32) {
+	if len(dst) != len(codes) {
+		panic(fmt.Sprintf("tensor: DequantAccumI8 length mismatch %d vs %d", len(dst), len(codes)))
+	}
+	if useAVX2 && len(dst) > 0 {
+		dequantAccumI8(&dst[0], &codes[0], len(dst), scale, offset)
+		return
+	}
+	for i, code := range codes {
+		dst[i] += (float32(code)+128)*scale + offset
+	}
+}
+
+// DotU8S8 returns Σ int32(x[i])·int32(w[i]) — the unsigned-activation
+// × signed-weight inner product of the int8 GEMM path. Integer
+// arithmetic is exact, so asm and Go agree bit-for-bit. The AVX2
+// kernel consumes 16-byte chunks; the tail runs scalar here.
+func DotU8S8(x []uint8, w []int8) int32 {
+	if len(x) != len(w) {
+		panic(fmt.Sprintf("tensor: DotU8S8 length mismatch %d vs %d", len(x), len(w)))
+	}
+	var s int32
+	n := len(x) &^ 15
+	if useAVX2 && n > 0 {
+		s = dotU8S8(&x[0], &w[0], n)
+	} else {
+		for i := 0; i < n; i++ {
+			s += int32(x[i]) * int32(w[i])
+		}
+	}
+	for i := n; i < len(x); i++ {
+		s += int32(x[i]) * int32(w[i])
+	}
+	return s
+}
