@@ -31,9 +31,10 @@ lint: vet
 # The hot-path packages carry the bit-identity and zero-alloc
 # contracts; run them under the race detector too (nn holds the
 # ShardGroup-based ParallelSLS fan-out, embcache the lock-striped
-# hot-row cache consulted by every planned gather).
+# hot-row cache consulted by every planned gather, shard the
+# hedged-fan-out client and loopback servers of the remote tier).
 race:
-	$(GO) test -race ./internal/engine ./internal/tensor ./internal/nn ./internal/embcache
+	$(GO) test -race ./internal/engine ./internal/tensor ./internal/nn ./internal/embcache ./internal/shard
 
 # Tier-1 verify recipe (see ROADMAP.md).
 verify: fmt-check build test lint race

@@ -118,6 +118,11 @@ func regressionCases() []benchCase {
 			}},
 		{name: "engine_rank_zipf_b16", zeroAlloc: true,
 			run: func(b *testing.B) { benchmarkEngineRankZipf(b, 16) }},
+		// The sharded-tier row-store extraction: the same planned gather
+		// driven two-phase (Begin/Finish) through the local RowStore —
+		// the "local shard" fast path must stay zero-alloc.
+		{name: "shard_gather_b64", zeroAlloc: true,
+			run: func(b *testing.B) { benchmarkShardGatherLocal(b) }},
 		// The kernel-dispatch acceptance shapes: the RM-scale FC GEMM
 		// (batch 256, 512→256) on one worker, fp32 and int8 compute.
 		// Both carry the zero-alloc contract (arena float and byte

@@ -439,6 +439,51 @@ func benchmarkSLSGatherAt(b *testing.B, rows int, cfg slsGatherBench) {
 	}
 }
 
+// benchmarkShardGatherLocal drives the batch-64 planned gather through
+// the two-phase Begin/Finish form against the explicitly-attached
+// in-process RowStore — the "local shard" configuration of the
+// scale-out embedding tier, on the same Zipf(1.1)/5%-cache operating
+// point as BenchmarkSLSGatherZipf. The case guards the interface
+// extraction: routing row reads through the RowStore indirection and
+// the two-phase split must keep the single-process path zero-alloc
+// (the remote path, with its per-request framing, has no such
+// contract).
+func benchmarkShardGatherLocal(b *testing.B) {
+	rng := stats.NewRNG(7)
+	table := nn.NewEmbeddingTable("bench", 100_000, 64, rng)
+	op := nn.NewSLSOp(table, 80)
+	cache, err := embcache.NewConcurrent(5000, 64, "clock", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	op.SetRowCache(cache)
+	op.SetRowStore(op.LocalStore())
+	const batch, nSets = 64, 64
+	gen := trace.NewZipfian(table.Rows, 1.1, rng.Split())
+	sets := make([][]int, nSets)
+	for i := range sets {
+		sets[i] = make([]int, batch*op.Lookups)
+		gen.Fill(sets[i])
+	}
+	arena := tensor.NewArena()
+	var f nn.SLSForward
+	for i := 0; i < nSets; i++ { // warm: slab, plan pool, cache
+		arena.Reset()
+		op.Begin(&f, sets[i], batch, arena, 1, time.Time{})
+		f.Finish()
+	}
+	arena.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		op.Begin(&f, sets[i%nSets], batch, arena, 1, time.Time{})
+		f.Finish()
+	}
+}
+
+func BenchmarkShardGatherLocalB64(b *testing.B) { benchmarkShardGatherLocal(b) }
+
 // BenchmarkSLSGatherZipf is the guarded cache case: Zipf(1.1) IDs
 // with a 5%-of-rows clock cache, held by the regression gate against
 // the uncached BenchmarkSLSGatherZipfNoCache (EXPERIMENTS.md records

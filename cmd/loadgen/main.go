@@ -19,6 +19,12 @@
 // Fig. 14. -emb-cache N attaches the engine's hot-row cache and
 // reports its hit rates, so the two flags together sweep cache
 // effectiveness against traffic skew.
+//
+// -emb-shards a:9001,b:9001 (real mode) fans the engine's embedding
+// gathers out to a remote cmd/embshard tier instead of the in-process
+// tables; every shard must serve the same -model/-scale/-seed so the
+// weights match. The output header stamps the kernel tier and the
+// shard topology so saved runs are comparable.
 package main
 
 import (
@@ -37,7 +43,9 @@ import (
 	"recsys/internal/model"
 	"recsys/internal/obs"
 	"recsys/internal/server"
+	"recsys/internal/shard"
 	"recsys/internal/stats"
+	"recsys/internal/tensor"
 	"recsys/internal/trace"
 )
 
@@ -59,6 +67,8 @@ func main() {
 		zipfS       = flag.Float64("zipf", 0, "in -real mode, draw sparse IDs from a per-table Zipf(s) generator (0 = uniform)")
 		embCache    = flag.Int("emb-cache", 0, "in -real mode, hot embedding rows cached per table (0 = off)")
 		embPolicy   = flag.String("emb-cache-policy", "lru", "emb-cache eviction policy: lru, fifo, or clock")
+		embShards   = flag.String("emb-shards", "", "in -real mode, comma-separated cmd/embshard addresses to fan embedding gathers out to (shards must serve the same -model/-scale/-seed)")
+		embHedge    = flag.Duration("emb-hedge-after", 0, "with -emb-shards, fixed hedge floor (0 = adaptive default, negative disables hedging)")
 	)
 	flag.Parse()
 
@@ -77,15 +87,15 @@ func main() {
 		os.Exit(1)
 	}
 	if *real {
-		runReal(cfg, *scale, *batch, *workers, *qps, *requests, *sla, *seed, *maxBatch, *maxWait, *traceOn, *zipfS, *embCache, *embPolicy)
+		runReal(cfg, *scale, *batch, *workers, *qps, *requests, *sla, *seed, *maxBatch, *maxWait, *traceOn, *zipfS, *embCache, *embPolicy, *embShards, *embHedge)
 		return
 	}
 	if *traceOn {
 		fmt.Fprintln(os.Stderr, "loadgen: -trace requires -real (the simulator has no request traces)")
 		os.Exit(1)
 	}
-	if *zipfS != 0 || *embCache != 0 {
-		fmt.Fprintln(os.Stderr, "loadgen: -zipf and -emb-cache require -real (the simulator has no embedding rows)")
+	if *zipfS != 0 || *embCache != 0 || *embShards != "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -zipf, -emb-cache, and -emb-shards require -real (the simulator has no embedding rows)")
 		os.Exit(1)
 	}
 
@@ -131,7 +141,7 @@ func main() {
 // runReal drives the real concurrent engine with Poisson-paced
 // requests and reports measured latency, the formed-batch histogram,
 // and the per-operator time split from the instrumented forward pass.
-func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests int, sla time.Duration, seed uint64, maxBatch int, maxWait time.Duration, traceOn bool, zipfS float64, embCache int, embPolicy string) {
+func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests int, sla time.Duration, seed uint64, maxBatch int, maxWait time.Duration, traceOn bool, zipfS float64, embCache int, embPolicy string, embShards string, embHedge time.Duration) {
 	if scale > 1 {
 		cfg = cfg.Scaled(scale)
 	}
@@ -154,7 +164,25 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 	if traceOn {
 		opts.TraceRing = 16
 	}
-	srv, err := engine.New(m, opts)
+	// shardCount is stamped into the output header alongside the kernel
+	// tier: "local" for in-process tables, the shard count when gathers
+	// fan out to a remote tier (the full topology prints below it).
+	shardCount := "local"
+	var mo engine.ModelOptions
+	if embShards != "" {
+		client, err := shard.Dial(shard.Options{
+			Addrs:      strings.Split(embShards, ","),
+			HedgeAfter: embHedge,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer client.Close()
+		mo.EmbShards = client
+		shardCount = fmt.Sprintf("%d", client.NumShards())
+	}
+	srv, err := engine.NewWithModelOptions(m, opts, mo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -175,8 +203,12 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 	}
 	drawn := make([]int, len(cfg.Tables))
 
-	fmt.Printf("%s real engine  batch=%d workers=%d offered=%.0f QPS  coalesce<=%d wait<=%v  SLA=%v  ids=%s\n\n",
-		cfg.Name, batch, workers, qps, maxBatch, maxWait, sla, idGens[0].Name())
+	fmt.Printf("%s real engine  batch=%d workers=%d offered=%.0f QPS  coalesce<=%d wait<=%v  SLA=%v  ids=%s kernel=%s shards=%s\n",
+		cfg.Name, batch, workers, qps, maxBatch, maxWait, sla, idGens[0].Name(), tensor.KernelTier(), shardCount)
+	if mo.EmbShards != nil {
+		fmt.Printf("embedding tier: %s\n", mo.EmbShards.Topology())
+	}
+	fmt.Println()
 	gen := trace.NewLoadGenerator(qps, batch, rng.Split())
 	arrivals := gen.Take(requests)
 	lat := stats.NewSample(requests)
@@ -262,6 +294,13 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 		for _, ec := range st.EmbCache {
 			fmt.Printf("  table %d: cap %5d rows  hit rate %5.1f%%  (%d hits, %d misses, %d evictions)\n",
 				ec.Table, ec.Capacity, 100*ec.HitRate, ec.Hits, ec.Misses, ec.Evictions)
+		}
+	}
+	if mo.EmbShards != nil {
+		fmt.Println("embedding shard tier:")
+		for _, ss := range mo.EmbShards.Stats() {
+			fmt.Printf("  %s: %d requests, %d hedges (%d wins), %d retries, %d errors\n",
+				ss.Addr, ss.Requests, ss.Hedges, ss.HedgeWins, ss.Retries, ss.Errors)
 		}
 	}
 	if traceOn {

@@ -234,7 +234,10 @@ func runMeasure(cfg model.Config, batch, scale, iters, intraOp int, int8Tables, 
 	if len(idGens) > 0 {
 		idKind = idGens[0].Name()
 	}
-	fmt.Printf("%s measured on this host  batch=%d scale=%d intra-op=%d iters=%d tables=%s mlps=%s ids=%s kernel=%s\n",
+	// shards=local: recbench measures the in-process gather path; the
+	// remote-tier analogue is loadgen -real -emb-shards, which stamps
+	// the tier topology in the same position.
+	fmt.Printf("%s measured on this host  batch=%d scale=%d intra-op=%d iters=%d tables=%s mlps=%s ids=%s kernel=%s shards=local\n",
 		cfg.Name, batch, scale, intraOp, iters, tableKind, mlpKind, idKind, tensor.KernelTier())
 	fmt.Printf("p50 %.1fµs  p95 %.1fµs  p99 %.1fµs  mean %.1fµs\n",
 		sample.Percentile(50), sample.Percentile(95), sample.Percentile(99),

@@ -32,6 +32,13 @@
 // "-int8mlp" suffix additionally runs the bottom/top MLPs in int8
 // compute (quantized integer GEMM).
 //
+// -emb-shards host:port,... fans embedding gathers out to a remote
+// sharded tier (cmd/embshard processes), overlapping the Bottom-MLP
+// with the in-flight fetch and hedging slow sub-requests
+// (-emb-hedge-after bounds the hedge floor). Every shard must be
+// started with the same preset/scale/seed as the serving node.
+// Single-model only: the tier serves one model's tables.
+//
 // On SIGINT/SIGTERM, serve stops accepting connections, waits up to
 // -drain for in-flight requests, then drains the engine and exits.
 package main
@@ -52,6 +59,7 @@ import (
 
 	"recsys/internal/engine"
 	"recsys/internal/model"
+	"recsys/internal/shard"
 	"recsys/internal/stats"
 )
 
@@ -82,6 +90,8 @@ func main() {
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		embCache   = flag.Int("emb-cache", 0, "hot embedding rows cached per table (read-through, generation-invalidated; 0 = off)")
 		embPolicy  = flag.String("emb-cache-policy", "lru", "emb-cache eviction policy: lru, fifo, clock, or direct")
+		embShards  = flag.String("emb-shards", "", "comma-separated shard addresses of a remote embedding tier (cmd/embshard); empty = in-process tables")
+		embHedge   = flag.Duration("emb-hedge-after", 0, "hedge floor for shard sub-requests (0 = client default, negative = hedging off)")
 	)
 	flag.Var(&specs, "model",
 		"model to serve, name=preset[:scale][@weight] (repeatable; bare preset = single model)")
@@ -103,7 +113,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if err := registerModels(eng, *checkpoint, specs, *scale, *seed); err != nil {
+	var shardClient *shard.Client
+	if *embShards != "" {
+		shardClient, err = shard.Dial(shard.Options{
+			Addrs:      strings.Split(*embShards, ","),
+			HedgeAfter: *embHedge,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shardClient.Close()
+		log.Printf("embedding tier: %d shards (%s)", shardClient.NumShards(), *embShards)
+	}
+
+	if err := registerModels(eng, *checkpoint, specs, *scale, *seed, shardClient); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("serving %s on %s (%d workers, batch<=%d, wait<=%v)",
@@ -166,10 +189,15 @@ func buildHandler(eng *engine.Engine, timeout time.Duration, pprofOn bool) http.
 
 // registerModels fills the engine's registry from the flags: a
 // checkpoint, explicit -model specs, or the single-preset default.
-func registerModels(eng *engine.Engine, checkpoint string, specs modelSpecs, defaultScale int, seed uint64) error {
+// A remote embedding tier (emb non-nil) is single-model: the shard
+// processes serve exactly one model's tables.
+func registerModels(eng *engine.Engine, checkpoint string, specs modelSpecs, defaultScale int, seed uint64, emb *shard.Client) error {
 	if checkpoint != "" {
 		if len(specs) > 0 {
 			return errors.New("serve: -checkpoint and -model are mutually exclusive")
+		}
+		if emb != nil {
+			return errors.New("serve: -emb-shards requires a preset -model (shards rebuild tables from preset/scale/seed)")
 		}
 		m, err := model.LoadFile(checkpoint)
 		if err != nil {
@@ -180,13 +208,16 @@ func registerModels(eng *engine.Engine, checkpoint string, specs modelSpecs, def
 	if len(specs) == 0 {
 		specs = modelSpecs{"rmc1"}
 	}
+	if emb != nil && len(specs) > 1 {
+		return errors.New("serve: -emb-shards serves a single model; repeated -model is not supported")
+	}
 	rng := stats.NewRNG(seed)
 	for _, spec := range specs {
 		name, m, weight, err := buildSpec(spec, defaultScale, rng.Split())
 		if err != nil {
 			return err
 		}
-		if err := eng.Register(name, m, engine.ModelOptions{Weight: weight}); err != nil {
+		if err := eng.Register(name, m, engine.ModelOptions{Weight: weight, EmbShards: emb}); err != nil {
 			return err
 		}
 	}

@@ -24,7 +24,7 @@ func startServer(t *testing.T, specs modelSpecs, opts engine.Options, timeout ti
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := registerModels(eng, "", specs, 1000, 1); err != nil {
+	if err := registerModels(eng, "", specs, 1000, 1, nil); err != nil {
 		eng.Close()
 		t.Fatal(err)
 	}

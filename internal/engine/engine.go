@@ -129,6 +129,13 @@ type Server struct {
 // New starts a server for the model. It returns an error on nil model
 // or non-positive worker/queue options.
 func New(m *model.Model, opts Options) (*Server, error) {
+	return NewWithModelOptions(m, opts, ModelOptions{})
+}
+
+// NewWithModelOptions is New with per-model registration options — the
+// single-model API's route to e.g. a remote embedding tier
+// (ModelOptions.EmbShards).
+func NewWithModelOptions(m *model.Model, opts Options, mo ModelOptions) (*Server, error) {
 	if m == nil {
 		return nil, errors.New("engine: nil model")
 	}
@@ -136,7 +143,7 @@ func New(m *model.Model, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := eng.Register(DefaultModelName, m, ModelOptions{}); err != nil {
+	if err := eng.Register(DefaultModelName, m, mo); err != nil {
 		eng.Close()
 		return nil, err
 	}

@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"recsys/internal/model"
 	"recsys/internal/nn"
 	"recsys/internal/obs"
+	"recsys/internal/shard"
 	"recsys/internal/tensor"
 )
 
@@ -188,8 +190,12 @@ func fail(mq *modelQueue, j *job, err error) {
 // process runs one coalesced forward pass and distributes the results.
 func (e *Engine) process(mq *modelQueue, jobs []*job, samples int, scratch *workerScratch) {
 	// Shed requests whose context expired between pop and processing.
+	// The batch's deadline — propagated into remote embedding gathers —
+	// is the earliest deadline of any surviving job: finishing later
+	// than that turns at least one job into shed work.
 	live := jobs[:0]
 	traced := false
+	var deadline time.Time
 	for _, j := range jobs {
 		if j.expired() {
 			mq.shed(j)
@@ -197,6 +203,9 @@ func (e *Engine) process(mq *modelQueue, jobs []*job, samples int, scratch *work
 		}
 		if j.tr != nil {
 			traced = true
+		}
+		if !j.deadline.IsZero() && (deadline.IsZero() || j.deadline.Before(deadline)) {
+			deadline = j.deadline
 		}
 		live = append(live, j)
 	}
@@ -227,7 +236,7 @@ func (e *Engine) process(mq *modelQueue, jobs []*job, samples int, scratch *work
 		// Fall back to per-request execution so one malformed request
 		// cannot poison its batch peers.
 		for _, j := range live {
-			out, execUS, spans, ferr := e.forward(mq, m, j.req, scratch, j.tr != nil)
+			out, execUS, spans, ferr := e.forward(mq, m, j.req, scratch, j.tr != nil, j.deadline)
 			if ferr != nil {
 				fail(mq, j, ferr)
 				continue
@@ -236,7 +245,7 @@ func (e *Engine) process(mq *modelQueue, jobs []*job, samples int, scratch *work
 		}
 		return
 	}
-	out, execUS, spans, err := e.forward(mq, m, merged, scratch, traced)
+	out, execUS, spans, err := e.forward(mq, m, merged, scratch, traced, deadline)
 	if err != nil {
 		for _, j := range live {
 			fail(mq, j, err)
@@ -264,11 +273,18 @@ func (e *Engine) process(mq *modelQueue, jobs []*job, samples int, scratch *work
 // Per-operator spans always land in the queue's kind accumulators;
 // when traced they are additionally captured (with the wall-clock
 // execute time) into the worker's reusable span buffer, returned as
-// spans.
-func (e *Engine) forward(mq *modelQueue, m *model.Model, req model.Request, scratch *workerScratch, traced bool) (out *tensor.Tensor, execUS float64, spans []obs.Span, err error) {
+// spans. deadline bounds remote embedding gathers (zero = none); a
+// dead shard tier panics out of the gather with shard.ErrUnavailable,
+// which the recover keeps in the error chain so the HTTP front-end can
+// answer 503 instead of 500.
+func (e *Engine) forward(mq *modelQueue, m *model.Model, req model.Request, scratch *workerScratch, traced bool, deadline time.Time) (out *tensor.Tensor, execUS float64, spans []obs.Span, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = nil
+			if re, ok := r.(error); ok && errors.Is(re, shard.ErrUnavailable) {
+				err = fmt.Errorf("%w: %w", ErrInference, re)
+				return
+			}
 			err = fmt.Errorf("%w: %v", ErrInference, r)
 		}
 	}()
@@ -280,7 +296,7 @@ func (e *Engine) forward(mq *modelQueue, m *model.Model, req model.Request, scra
 	if traced {
 		t0 = time.Now()
 	}
-	out = m.ForwardSpans(req, scratch.arena, e.opts.IntraOpWorkers, &scratch.tap)
+	out = m.ForwardDeadline(req, scratch.arena, e.opts.IntraOpWorkers, &scratch.tap, deadline)
 	if traced {
 		execUS = float64(time.Since(t0)) / 1e3
 		spans = scratch.tap.spans

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"recsys/internal/model"
+	"recsys/internal/shard"
 	"recsys/internal/tensor"
 )
 
@@ -181,6 +182,7 @@ func (e *Engine) handleModels(w http.ResponseWriter, _ *http.Request) {
 //	context deadline/cancel → 408 request shed or abandoned in time
 //	ErrModelNotFound        → 404 unknown model (or unregistered mid-flight)
 //	ErrClosed               → 503 engine shutting down
+//	shard.ErrUnavailable    → 503 remote embedding tier unreachable
 //	ErrInference, others    → 500 internal fault (recovered panic)
 func rankStatus(err error) int {
 	switch {
@@ -194,6 +196,10 @@ func rankStatus(err error) int {
 		// Unregistered between resolution and admission.
 		return http.StatusNotFound
 	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, shard.ErrUnavailable):
+		// A dead embedding shard is a dependency outage, not an
+		// internal fault: retryable against a recovered tier.
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"recsys/internal/model"
+	"recsys/internal/shard"
 	"recsys/internal/stats"
 )
 
@@ -27,6 +28,11 @@ func TestRankStatus(t *testing.T) {
 		{ErrModelNotFound, http.StatusNotFound},
 		{fmt.Errorf("%w: %q", ErrModelNotFound, "ghost"), http.StatusNotFound},
 		{ErrClosed, http.StatusServiceUnavailable},
+		{shard.ErrUnavailable, http.StatusServiceUnavailable},
+		// The executor wraps a dead-tier panic as ErrInference while
+		// keeping shard.ErrUnavailable in the chain; the 503 must win
+		// over ErrInference's 500.
+		{fmt.Errorf("%w: %w", ErrInference, fmt.Errorf("%w: dial tcp: connection refused", shard.ErrUnavailable)), http.StatusServiceUnavailable},
 		{ErrInference, http.StatusInternalServerError},
 		{errors.New("anything else"), http.StatusInternalServerError},
 	}

@@ -7,6 +7,7 @@ import (
 
 	"recsys/internal/nn"
 	"recsys/internal/obs"
+	"recsys/internal/shard"
 )
 
 // Prometheus text exposition of the engine's serving state
@@ -38,6 +39,13 @@ import (
 //	recsys_embcache_misses_total{model,table}     counter (")
 //	recsys_embcache_evictions_total{model,table}  counter (")
 //	recsys_embcache_hit_ratio{model,table}        gauge   (")
+//	recsys_shard_requests_total{model,shard}      counter (only with a remote tier)
+//	recsys_shard_hedges_total{model,shard}        counter (")
+//	recsys_shard_hedge_wins_total{model,shard}    counter (")
+//	recsys_shard_cancels_total{model,shard}       counter (")
+//	recsys_shard_retries_total{model,shard}       counter (")
+//	recsys_shard_errors_total{model,shard}        counter (")
+//	recsys_shard_latency_seconds{model,shard}     histogram (")
 type metricsView struct {
 	name string
 	mq   *modelQueue
@@ -134,6 +142,57 @@ func (e *Engine) WriteMetrics(w io.Writer) {
 
 	if e.opts.EmbCache.Enabled() {
 		e.writeEmbCacheMetrics(w, views, lbl)
+	}
+	writeShardMetrics(w, views, lbl)
+}
+
+// writeShardMetrics emits the remote-embedding-tier client counters,
+// labelled {model, shard} with the shard's address — the hedging
+// observability the tail-latency experiments read. Models without a
+// remote tier contribute no series; with none at all, no shard family
+// is written.
+func writeShardMetrics(w io.Writer, views []metricsView, lbl func(metricsView) []obs.Label) {
+	type clientStats struct {
+		view  metricsView
+		stats []shard.ShardStats
+	}
+	var cs []clientStats
+	for _, v := range views {
+		if v.mq.embClient != nil {
+			cs = append(cs, clientStats{view: v, stats: v.mq.embClient.Stats()})
+		}
+	}
+	if len(cs) == 0 {
+		return
+	}
+	shardLbl := func(v metricsView, addr string) []obs.Label {
+		return append(lbl(v), obs.Label{Name: "shard", Value: addr})
+	}
+	counters := []struct {
+		name string
+		help string
+		load func(shard.ShardStats) int64
+	}{
+		{"recsys_shard_requests_total", "Embedding gather sub-requests sent to this shard.", func(s shard.ShardStats) int64 { return s.Requests }},
+		{"recsys_shard_hedges_total", "Hedge attempts launched against this shard.", func(s shard.ShardStats) int64 { return s.Hedges }},
+		{"recsys_shard_hedge_wins_total", "Hedge attempts that answered before the primary.", func(s shard.ShardStats) int64 { return s.HedgeWins }},
+		{"recsys_shard_cancels_total", "In-flight attempts abandoned after a sibling won.", func(s shard.ShardStats) int64 { return s.Cancels }},
+		{"recsys_shard_retries_total", "Fresh-connection retries after all attempts failed.", func(s shard.ShardStats) int64 { return s.Retries }},
+		{"recsys_shard_errors_total", "Sub-requests that exhausted retries and failed.", func(s shard.ShardStats) int64 { return s.Errors }},
+	}
+	for _, c := range counters {
+		obs.WriteFamily(w, c.name, "counter", c.help)
+		for _, e := range cs {
+			for _, s := range e.stats {
+				obs.WriteIntSample(w, c.name, shardLbl(e.view, s.Addr), c.load(s))
+			}
+		}
+	}
+	obs.WriteFamily(w, "recsys_shard_latency_seconds", "histogram", "Per-shard gather sub-request latency (hedge-winner when hedged).")
+	for _, e := range cs {
+		for _, s := range e.stats {
+			obs.WriteHistogram(w, "recsys_shard_latency_seconds", shardLbl(e.view, s.Addr), s.Latency, 1e9)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"recsys/internal/embcache"
 	"recsys/internal/model"
 	"recsys/internal/obs"
+	"recsys/internal/shard"
 )
 
 // job is one admitted Rank call waiting for an executor worker.
@@ -133,6 +134,12 @@ type modelQueue struct {
 	embCaches []*embcache.Concurrent
 	embRows   []int
 
+	// embClient, when non-nil, is the remote embedding tier this model
+	// gathers from (ModelOptions.EmbShards). It outlives swaps:
+	// attachRowStores re-points the incoming model's SLS ops at it, and
+	// the metrics exposition reads its per-shard counters.
+	embClient *shard.Client
+
 	// passMu fences forward passes against Swap's publish. Workers hold
 	// the read side from loading the model pointer until the forward
 	// completes; Swap holds the write side across the generation bump
@@ -179,6 +186,22 @@ func (mq *modelQueue) attachEmbCaches(m *model.Model, o EmbCacheOptions) error {
 		op.SetRowCache(mq.embCaches[i])
 	}
 	return nil
+}
+
+// attachRowStores points m's SLS ops at the queue's remote embedding
+// tier (a no-op without one). Same publication contract as
+// attachEmbCaches: m is not yet serving when this runs, so the store
+// writes race nothing. The per-table sources are created fresh per
+// attach — their per-shard generation trackers start at "never seen",
+// which at worst costs one cache-insert pass after a swap, never a
+// stale read.
+func (mq *modelQueue) attachRowStores(m *model.Model) {
+	if mq.embClient == nil {
+		return
+	}
+	for i, op := range m.SLS {
+		op.SetRowStore(mq.embClient.Source(i, op.Table.Rows, op.Table.Cols))
+	}
 }
 
 // invalidateEmbCaches bumps every table cache's generation; rows

@@ -11,6 +11,7 @@ import (
 	"recsys/internal/embcache"
 	"recsys/internal/model"
 	"recsys/internal/obs"
+	"recsys/internal/shard"
 )
 
 // ErrModelNotFound is returned (wrapped with the model name) by Rank,
@@ -26,6 +27,15 @@ type ModelOptions struct {
 	// (a weight-2 model is offered twice the dispatch slots of a
 	// weight-1 model under contention). 0 means 1.
 	Weight int
+	// EmbShards, when non-nil, redirects this model's embedding gathers
+	// to a remote sharded tier: every SLS op reads rows through the
+	// client instead of its in-process tables, and the forward pass
+	// overlaps the Bottom-MLP with the in-flight fan-out. The tier must
+	// serve the same table weights the model was built with (same
+	// preset/scale/seed on every shard), or results will silently
+	// diverge from local serving. The caller owns the client's
+	// lifecycle; it must outlive the model's registration.
+	EmbShards *shard.Client
 }
 
 // Engine is the multi-model serving core: a registry of named,
@@ -123,9 +133,11 @@ func (e *Engine) Register(name string, m *model.Model, mo ModelOptions) error {
 		return fmt.Errorf("engine: model %q already registered", name)
 	}
 	mq := newModelQueue(name, m, weight, pol, e.opts.QueueDepth, e.opts.TraceRing)
+	mq.embClient = mo.EmbShards
 	if err := mq.attachEmbCaches(m, e.opts.EmbCache); err != nil {
 		return err
 	}
+	mq.attachRowStores(m)
 	e.queues[name] = mq
 	e.order = append(e.order, mq)
 	e.wrrTotal += weight
@@ -173,6 +185,7 @@ func (e *Engine) Swap(name string, next *model.Model) error {
 	if err := mq.attachEmbCaches(next, e.opts.EmbCache); err != nil {
 		return err
 	}
+	mq.attachRowStores(next)
 	mq.passMu.Lock()
 	mq.invalidateEmbCaches()
 	mq.model.Store(next)

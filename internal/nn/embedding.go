@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"recsys/internal/stats"
 	"recsys/internal/tensor"
@@ -236,6 +237,10 @@ type SLSOp struct {
 	// cache is the optional read-through hot-row cache (SetRowCache);
 	// when set, ForwardEx takes the planned gather path.
 	cache RowCache
+	// store is where gathers read rows from (SetRowStore): the
+	// in-process tables by default, a remote shard tier when the engine
+	// attaches one. The plan/dedup/cache machinery sits above it.
+	store RowStore
 }
 
 // NewSLSOp wires a table with its per-sample lookup count.
@@ -243,7 +248,9 @@ func NewSLSOp(table *EmbeddingTable, lookups int) *SLSOp {
 	if lookups <= 0 {
 		panic("nn: SLSOp lookups must be positive")
 	}
-	return &SLSOp{Table: table, Lookups: lookups}
+	s := &SLSOp{Table: table, Lookups: lookups}
+	s.store = (*localStore)(s)
+	return s
 }
 
 // Name returns the underlying table's label.
@@ -305,6 +312,14 @@ func (s *SLSOp) ForwardNaiveEx(ids []int, batch int, a *tensor.Arena, workers in
 func (s *SLSOp) ForwardEx(ids []int, batch int, a *tensor.Arena, workers int) *tensor.Tensor {
 	if len(ids) != batch*s.Lookups {
 		panic(fmt.Sprintf("nn: SLSOp expects %d IDs for batch %d, got %d", batch*s.Lookups, batch, len(ids)))
+	}
+	if s.Async() && len(ids) < maxPlanPositions {
+		// Remote store: dispatch and immediately wait. Callers that can
+		// overlap the in-flight gather with other work use Begin/Finish
+		// directly (model.ForwardDeadline).
+		var f SLSForward
+		s.Begin(&f, ids, batch, a, workers, time.Time{})
+		return f.Finish()
 	}
 	if (s.cache != nil || s.Quant != nil) && len(ids) < maxPlanPositions {
 		return s.forwardGather(ids, batch, a, workers)

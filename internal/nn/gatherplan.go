@@ -46,6 +46,12 @@ type gatherPlan struct {
 	tmp   []int64 // radix-sort ping-pong buffer
 	uniq  []int64 // unique row IDs, ascending
 	index []int32 // per original position: row index into the staging buffer
+
+	// Miss-list scratch for the async (GatherSource) path: the unique
+	// rows the cache could not serve, as (row ID, staging row) pairs —
+	// the sub-plan BeginGather fans out per shard.
+	missIDs  []int64
+	missRows []int32
 }
 
 var planPool = sync.Pool{New: func() any { return new(gatherPlan) }}
@@ -195,22 +201,17 @@ func (s *SLSOp) forwardGather(ids []int, batch int, a *tensor.Arena, workers int
 }
 
 // stageRows materializes unique rows [lo, hi) into the staging buffer:
-// cache hit, else table read (fp32 copy or int8 dequant) followed by a
-// read-through insert.
+// cache hit, else a row-store read (fp32 copy or int8 dequant through
+// the LocalStore implementation) followed by a read-through insert.
 func (s *SLSOp) stageRows(staging *tensor.Tensor, uniq []int64, lo, hi int, gen uint64) {
-	cols := s.Table.Cols
-	w := s.Table.W.Data()
+	store := s.src()
 	for u := lo; u < hi; u++ {
 		id := uniq[u]
 		dst := staging.Row(u)
 		if s.cache != nil && s.cache.Lookup(gen, uint64(id), dst) {
 			continue
 		}
-		if s.Quant != nil {
-			s.Quant.Row(int(id), dst)
-		} else {
-			copy(dst, w[int(id)*cols:(int(id)+1)*cols])
-		}
+		store.ReadRow(id, dst)
 		if s.cache != nil {
 			s.cache.Insert(gen, uint64(id), dst)
 		}

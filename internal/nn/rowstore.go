@@ -1,0 +1,274 @@
+package nn
+
+import (
+	"fmt"
+	"time"
+
+	"recsys/internal/tensor"
+)
+
+// RowStore is the storage interface behind the SLS gather: somewhere a
+// row ID can be materialized as fp32 values. The planned-gather
+// machinery (dedup, sorted staging, read-through hot-row cache) sits
+// above this interface, so the same plan drives the in-process tables
+// (LocalStore — fp32 copy or int8 dequant) and the remote shard tier
+// (internal/shard). Implementations must be safe for concurrent
+// readers: the engine runs multiple forward passes against one op.
+type RowStore interface {
+	// Rows is the table height; IDs are validated against it upstream.
+	Rows() int
+	// Cols is the row width in fp32 elements.
+	Cols() int
+	// ReadRow materializes row id into dst (len Cols): the exact fp32
+	// row, or the deterministic int8 dequantization — bit-identical to
+	// what the plan-free reference paths produce.
+	ReadRow(id int64, dst []float32)
+}
+
+// GatherSource extends RowStore with asynchronous batched fetch — the
+// shape a remote shard tier needs: one dispatch for a whole miss list
+// (fanned out per shard under the hood) instead of one virtual call
+// per row, overlappable with dense compute between Begin and Wait.
+type GatherSource interface {
+	RowStore
+	// BeginGather dispatches an asynchronous fetch of rows ids[i] into
+	// dst.Row(int(dstRows[i])). ids aliases plan scratch and is only
+	// valid until the returned gather's Wait returns. A zero deadline
+	// means no caller deadline; implementations may still bound the
+	// fetch with their own timeouts.
+	BeginGather(ids []int64, dstRows []int32, dst *tensor.Tensor, deadline time.Time) PendingGather
+}
+
+// RowWriter is the optional write side of a RowStore: sparse-row
+// updates with the store's own representation maintenance (the local
+// store re-quantizes the int8 row). A shard server asserts it to apply
+// trainer updates; callers own synchronization against concurrent
+// ReadRows.
+type RowWriter interface {
+	WriteRow(id int64, src []float32)
+}
+
+// PendingGather is one in-flight BeginGather.
+type PendingGather interface {
+	// Wait blocks until every requested row is written into dst (or
+	// the fetch failed). genChanged reports that the store's
+	// generation advanced since the previous gather — rows may have
+	// been rewritten upstream, so the caller must invalidate its
+	// hot-row cache instead of inserting the rows it staged under the
+	// old token.
+	Wait() (genChanged bool, err error)
+}
+
+// localStore adapts an SLSOp's in-process tables to RowStore: the fp32
+// table is the source of truth, with the optional row-wise int8
+// representation taking over serving reads — exactly the fused access
+// the gather paths used before the interface was extracted. It is a
+// type-converted view of the op itself, so attaching Quant after
+// construction is still observed and the interface value costs no
+// allocation.
+type localStore SLSOp
+
+// Rows implements RowStore.
+func (t *localStore) Rows() int { return t.Table.Rows }
+
+// Cols implements RowStore.
+func (t *localStore) Cols() int { return t.Table.Cols }
+
+// ReadRow implements RowStore: int8 dequant when the op serves a
+// quantized table, exact fp32 copy otherwise.
+func (t *localStore) ReadRow(id int64, dst []float32) {
+	if t.Quant != nil {
+		t.Quant.Row(int(id), dst)
+		return
+	}
+	cols := t.Table.Cols
+	w := t.Table.W.Data()
+	copy(dst, w[int(id)*cols:(int(id)+1)*cols])
+}
+
+// WriteRow updates row id in the fp32 source of truth and, when the op
+// serves an int8 table, re-quantizes that row — the sparse-update hook
+// a shard server exposes to its trainer. Callers own synchronization
+// against concurrent ReadRows (shard.Server serializes through its
+// per-table lock); the in-process trainer instead updates W directly
+// and invalidates caches.
+func (t *localStore) WriteRow(id int64, src []float32) {
+	cols := t.Table.Cols
+	w := t.Table.W.Data()
+	copy(w[int(id)*cols:(int(id)+1)*cols], src)
+	if t.Quant != nil {
+		t.Quant.QuantizeRow(int(id), src)
+	}
+}
+
+// LocalStore returns the op's in-process tables as a RowStore — the
+// single-process "local shard" implementation, and what a shard server
+// serves rows from.
+func (s *SLSOp) LocalStore() RowStore { return (*localStore)(s) }
+
+// src returns the op's row store, defaulting to the in-process tables
+// for ops constructed as literals (tests); the fallback is a pointer
+// conversion, so it neither allocates nor mutates the op.
+func (s *SLSOp) src() RowStore {
+	if s.store != nil {
+		return s.store
+	}
+	return (*localStore)(s)
+}
+
+// SetRowStore redirects the op's gathers to rs (nil restores the
+// in-process tables). A store that implements GatherSource switches
+// ForwardEx to the asynchronous planned gather — the remote shard
+// path. Like SetRowCache, the op must not be serving when the store
+// changes: the engine attaches stores before a model is published.
+func (s *SLSOp) SetRowStore(rs RowStore) {
+	if rs == nil {
+		s.store = (*localStore)(s)
+		return
+	}
+	if rs.Cols() != s.Table.Cols {
+		panic(fmt.Sprintf("nn: row store width %d does not match table width %d", rs.Cols(), s.Table.Cols))
+	}
+	if rs.Rows() < s.Table.Rows {
+		panic(fmt.Sprintf("nn: row store has %d rows, table needs %d", rs.Rows(), s.Table.Rows))
+	}
+	s.store = rs
+}
+
+// RowStoreRef returns the attached row store (the in-process tables
+// unless SetRowStore installed a remote source).
+func (s *SLSOp) RowStoreRef() RowStore { return s.src() }
+
+// Async reports whether gathers dispatch through a GatherSource (a
+// remote tier) — the condition under which the model overlaps the
+// Bottom-MLP with in-flight gathers.
+func (s *SLSOp) Async() bool {
+	_, ok := s.src().(GatherSource)
+	return ok
+}
+
+// SLSForward is the two-phase form of ForwardEx: Begin dispatches the
+// gather, Finish waits and pools. With a local store Begin only
+// records the arguments and Finish runs the ordinary synchronous path,
+// so the split costs the local fast path nothing; with a GatherSource
+// the rows are in flight between the two calls and the model runs the
+// Bottom-MLP in the gap — the overlap internal/dist's Estimate models
+// (TotalUS = max(Bottom, Shard+Net) + Top).
+type SLSForward struct {
+	op      *SLSOp
+	ids     []int
+	batch   int
+	workers int
+	a       *tensor.Arena
+
+	// Async-path state (unused when async is false).
+	async   bool
+	plan    *gatherPlan
+	out     *tensor.Tensor
+	staging *tensor.Tensor
+	gen     uint64
+	pending PendingGather
+}
+
+// Begin starts one SLS forward into f. With an async store it builds
+// the gather plan, consults the row cache, and dispatches the miss
+// list to the GatherSource; otherwise it just records the arguments
+// for Finish. f is caller-owned scratch (typically a stack value or a
+// pooled slice entry) and must not be reused until Finish returns.
+func (s *SLSOp) Begin(f *SLSForward, ids []int, batch int, a *tensor.Arena, workers int, deadline time.Time) {
+	f.op, f.ids, f.batch, f.a, f.workers = s, ids, batch, a, workers
+	f.pending = nil
+	gs, ok := s.src().(GatherSource)
+	f.async = ok && len(ids) < maxPlanPositions
+	if !f.async {
+		return
+	}
+	if len(ids) != batch*s.Lookups {
+		panic(fmt.Sprintf("nn: SLSOp expects %d IDs for batch %d, got %d", batch*s.Lookups, batch, len(ids)))
+	}
+	cols := s.Table.Cols
+	f.out = allocDense(a, batch, cols)
+	s.Table.validateIDs(ids)
+	p := planPool.Get().(*gatherPlan)
+	f.plan = p
+	nUniq := p.build(ids)
+	// Staging rows are written exactly once each — by a cache hit here
+	// or by the fetch — before accumStaged reads any of them.
+	f.staging = allocDenseUninit(a, nUniq, cols)
+	f.gen = 0
+	if s.cache != nil {
+		f.gen = s.cache.Gen()
+	}
+	p.missIDs = p.missIDs[:0]
+	p.missRows = p.missRows[:0]
+	for u := 0; u < nUniq; u++ {
+		id := p.uniq[u]
+		dst := f.staging.Row(u)
+		if s.cache != nil && s.cache.Lookup(f.gen, uint64(id), dst) {
+			continue
+		}
+		p.missIDs = append(p.missIDs, id)
+		p.missRows = append(p.missRows, int32(u))
+	}
+	if len(p.missIDs) > 0 {
+		f.pending = gs.BeginGather(p.missIDs, p.missRows, f.staging, deadline)
+	}
+}
+
+// Finish completes the forward begun by Begin and returns the pooled
+// output. On the async path it waits for the in-flight rows, applies
+// the generation protocol (insert fetched rows under the captured
+// token, or invalidate the cache when the source's generation moved),
+// and accumulates — in the same per-sample ID order as every other
+// path, so results are bit-identical to the local gather as long as
+// the source serves the same row values. A fetch error panics with the
+// source's error value (the engine's recover maps it to its HTTP
+// taxonomy).
+func (f *SLSForward) Finish() *tensor.Tensor {
+	if !f.async {
+		return f.op.ForwardEx(f.ids, f.batch, f.a, f.workers)
+	}
+	s := f.op
+	p := f.plan
+	genChanged := false
+	if f.pending != nil {
+		gc, err := f.pending.Wait()
+		if err != nil {
+			planPool.Put(p)
+			panic(err)
+		}
+		genChanged = gc
+	}
+	if s.cache != nil {
+		if genChanged {
+			// The source rewrote rows since the last gather: rows read
+			// from the cache this pass may be stale (same in-flight
+			// window a local trainer's invalidation has); dropping the
+			// generation re-fetches everything next pass instead of
+			// inserting possibly-mixed rows under the old token.
+			s.cache.Invalidate()
+		} else {
+			for i, id := range p.missIDs {
+				s.cache.Insert(f.gen, uint64(id), f.staging.Row(int(p.missRows[i])))
+			}
+		}
+	}
+	workers := slsWorkers(f.workers, f.batch, len(f.ids)*s.Table.Cols)
+	if workers <= 1 {
+		s.accumStaged(f.out, f.staging, p.index, 0, f.batch)
+	} else {
+		out, staging := f.out, f.staging
+		tensor.ParallelFor(f.batch, workers, func(lo, hi int) {
+			s.accumStaged(out, staging, p.index, lo, hi)
+		})
+	}
+	if s.Mean {
+		inv := 1 / float32(s.Lookups)
+		d := f.out.Data()
+		for i := range d {
+			d[i] *= inv
+		}
+	}
+	planPool.Put(p)
+	return f.out
+}

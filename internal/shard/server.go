@@ -1,0 +1,395 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recsys/internal/embcache"
+	"recsys/internal/nn"
+)
+
+// ServerOptions configures one shard server.
+type ServerOptions struct {
+	// CacheRows is the per-table read-through row cache capacity (rows;
+	// 0 disables). On an int8-backed store the cache amortizes
+	// dequantization exactly as the in-process serving path does.
+	CacheRows int
+	// CachePolicy is the eviction policy (embcache.Policies; default
+	// "lru").
+	CachePolicy string
+}
+
+// Server serves embedding rows out of nn.RowStore implementations over
+// the wire protocol — the process behind cmd/embshard. Each store is
+// one table, addressed by its index; a server in an n-shard tier holds
+// full-height tables but is only ever asked for the rows that hash to
+// it (clients partition with ShardOf), so per-shard cache capacity
+// covers 1/n of the hot set.
+type Server struct {
+	tables []*serverTable
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	requests atomic.Int64
+
+	// Fault injection (tests, cmd/embshard flags): every stallEvery-th
+	// gather request sleeps stallNS before answering — the transient
+	// per-request stall hedging exists to absorb. A constant slowdown
+	// would defeat same-shard hedging (no replicas to fail over to), so
+	// the injector models the production shape: occasional requests
+	// hit a GC pause / queue spike, the rest are healthy.
+	stallNS    atomic.Int64
+	stallEvery atomic.Int64
+	stallSeq   atomic.Int64
+
+	// rowServiceNS emulates per-row fetch service time (one sleep of
+	// nIDs × rowServiceNS per table section): the memory-bound row
+	// gather cost internal/dist prices per shard. On hosts with too few
+	// cores to expose real fan-out parallelism (CI boxes), this knob
+	// makes scaling experiments measurable — sleeps overlap across
+	// shards the way independent nodes' memory systems would.
+	rowServiceNS atomic.Int64
+}
+
+type serverTable struct {
+	// mu serializes UpdateRow against in-flight reads so a row is never
+	// served half-written; reads share the lock.
+	mu    sync.RWMutex
+	store nn.RowStore
+	// gen is the table's generation token, echoed in every response.
+	// It starts at 1 (0 means "never seen" on the client side) and
+	// advances on every row update, which is how invalidation crosses
+	// the RPC boundary: clients compare successive response gens and
+	// drop their hot-row caches on change.
+	gen   atomic.Uint64
+	cache *embcache.Concurrent
+}
+
+// NewServer wraps stores (one per table index) into a server.
+func NewServer(stores []nn.RowStore, opts ServerOptions) (*Server, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("shard: server needs at least one table store")
+	}
+	policy := opts.CachePolicy
+	if policy == "" {
+		policy = "lru"
+	}
+	s := &Server{conns: make(map[net.Conn]struct{})}
+	for i, st := range stores {
+		t := &serverTable{store: st}
+		t.gen.Store(1)
+		if opts.CacheRows > 0 {
+			c, err := embcache.NewConcurrent(opts.CacheRows, st.Cols(), policy, 0)
+			if err != nil {
+				return nil, fmt.Errorf("shard: table %d cache: %w", i, err)
+			}
+			t.cache = c
+		}
+		s.tables = append(s.tables, t)
+	}
+	return s, nil
+}
+
+// SetStall configures fault injection: every every-th gather request
+// sleeps d before being served (every <= 0 disables).
+func (s *Server) SetStall(d time.Duration, every int) {
+	s.stallNS.Store(int64(d))
+	s.stallEvery.Store(int64(every))
+}
+
+// SetRowServiceTime emulates d of service time per requested row
+// (0 disables) — see rowServiceNS.
+func (s *Server) SetRowServiceTime(d time.Duration) {
+	s.rowServiceNS.Store(int64(d))
+}
+
+// Requests returns the number of gather requests served.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// Gen returns table's current generation token.
+func (s *Server) Gen(table int) uint64 { return s.tables[table].gen.Load() }
+
+// UpdateRow applies a trainer sparse update to one row: the store's
+// write (fp32 + int8 re-quantization), a generation bump, and a local
+// cache invalidation. The per-table lock excludes in-flight reads for
+// the duration of the write.
+func (s *Server) UpdateRow(table int, id int64, row []float32) error {
+	if table < 0 || table >= len(s.tables) {
+		return fmt.Errorf("shard: no table %d", table)
+	}
+	t := s.tables[table]
+	w, ok := t.store.(nn.RowWriter)
+	if !ok {
+		return fmt.Errorf("shard: table %d store is read-only", table)
+	}
+	if id < 0 || int(id) >= t.store.Rows() {
+		return fmt.Errorf("shard: row %d out of range for table %d", id, table)
+	}
+	t.mu.Lock()
+	w.WriteRow(id, row)
+	t.mu.Unlock()
+	t.gen.Add(1)
+	if t.cache != nil {
+		t.cache.Invalidate()
+	}
+	return nil
+}
+
+// BumpGen advances table's generation without a row write — the hook
+// for out-of-band table mutations (e.g. a direct W rewrite in tests).
+func (s *Server) BumpGen(table int) {
+	t := s.tables[table]
+	t.gen.Add(1)
+	if t.cache != nil {
+		t.cache.Invalidate()
+	}
+}
+
+// Serve accepts connections on ln until Close. It returns nil after
+// Close, or the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("shard: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+// Addr returns the listener address (valid once Serve is running).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+	s.wg.Done()
+}
+
+// maxCols returns the widest table, sizing the per-connection row
+// scratch.
+func (s *Server) maxCols() int {
+	m := 0
+	for _, t := range s.tables {
+		if c := t.store.Cols(); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer s.dropConn(c)
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	var in, out []byte
+	row := make([]float32, s.maxCols())
+	acc := make([]float32, s.maxCols())
+	for {
+		var err error
+		in, err = readFrame(br, in)
+		if err != nil {
+			return // clean EOF or broken peer either way: drop the conn
+		}
+		out = s.handle(in, out[:0], row, acc)
+		if err := writeFrame(bw, out); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func appendErrResp(b []byte, reqID uint32, status byte, msg string) []byte {
+	b = append(b, wireVersion, status)
+	b = putU32(b, reqID)
+	b = putU16(b, uint16(len(msg)))
+	return append(b, msg...)
+}
+
+// handle serves one decoded request frame, appending the response
+// payload to out.
+func (s *Server) handle(in, out []byte, row, acc []float32) []byte {
+	r := reader{b: in}
+	version := r.u8()
+	op := r.u8()
+	reqID := r.u32()
+	r.u32() // deadlineUS: advisory; the client enforces via socket deadlines
+	nTables := int(r.u16())
+	if r.err != nil || version != wireVersion {
+		return appendErrResp(out, reqID, statusBadRequest, "bad request header")
+	}
+	switch op {
+	case opPing:
+		out = append(out, wireVersion, statusOK)
+		out = putU32(out, reqID)
+		return putU16(out, 0)
+	case opGatherRows, opGatherPooled:
+	default:
+		return appendErrResp(out, reqID, statusBadRequest, fmt.Sprintf("unknown opcode %d", op))
+	}
+	s.requests.Add(1)
+	if every := s.stallEvery.Load(); every > 0 && s.stallSeq.Add(1)%every == 0 {
+		time.Sleep(time.Duration(s.stallNS.Load()))
+	}
+	out = append(out, wireVersion, statusOK)
+	out = putU32(out, reqID)
+	out = putU16(out, uint16(nTables))
+	for i := 0; i < nTables; i++ {
+		var err error
+		out, err = s.serveTable(&r, op, out, row, acc)
+		if err != nil {
+			return appendErrResp(out[:0], reqID, statusBadRequest, err.Error())
+		}
+	}
+	return out
+}
+
+// serveTable decodes one request table section from r and appends its
+// response section.
+func (s *Server) serveTable(r *reader, op byte, out []byte, row, acc []float32) ([]byte, error) {
+	idx := r.u32()
+	nIDs := int(r.u32())
+	nOut := nIDs
+	var offsets []byte
+	if op == opGatherPooled {
+		nOut = int(r.u32())
+		offsets = r.bytes((nOut + 1) * 4)
+	}
+	ids := r.bytes(nIDs * 4)
+	if r.err != nil {
+		return out, r.err
+	}
+	if int(idx) >= len(s.tables) {
+		return out, fmt.Errorf("no table %d", idx)
+	}
+	t := s.tables[int(idx)]
+	if rs := s.rowServiceNS.Load(); rs > 0 {
+		time.Sleep(time.Duration(rs * int64(nIDs)))
+	}
+	rows, cols := t.store.Rows(), t.store.Cols()
+	for i := 0; i < nIDs; i++ {
+		if id := binary.LittleEndian.Uint32(ids[i*4:]); int(id) >= rows {
+			return out, fmt.Errorf("row %d out of range for table %d", id, idx)
+		}
+	}
+	t.mu.RLock()
+	gen := t.gen.Load()
+	var cgen uint64
+	if t.cache != nil {
+		cgen = t.cache.Gen()
+	}
+	out = putU32(out, idx)
+	out = putU64(out, gen)
+	out = putU16(out, uint16(cols))
+	out = putU32(out, uint32(nOut))
+	readRow := func(i int, dst []float32) {
+		id := int64(binary.LittleEndian.Uint32(ids[i*4:]))
+		if t.cache != nil && t.cache.Lookup(cgen, uint64(id), dst[:cols]) {
+			return
+		}
+		t.store.ReadRow(id, dst[:cols])
+		if t.cache != nil {
+			t.cache.Insert(cgen, uint64(id), dst[:cols])
+		}
+	}
+	if op == opGatherRows {
+		for i := 0; i < nIDs; i++ {
+			readRow(i, row)
+			for _, v := range row[:cols] {
+				out = putU32(out, math.Float32bits(v))
+			}
+		}
+	} else {
+		for o := 0; o < nOut; o++ {
+			lo := int(binary.LittleEndian.Uint32(offsets[o*4:]))
+			hi := int(binary.LittleEndian.Uint32(offsets[(o+1)*4:]))
+			if lo > hi || hi > nIDs {
+				t.mu.RUnlock()
+				return out, fmt.Errorf("bad pooled offsets [%d,%d) for table %d", lo, hi, idx)
+			}
+			a := acc[:cols]
+			clear(a)
+			for i := lo; i < hi; i++ {
+				readRow(i, row)
+				for j, v := range row[:cols] {
+					a[j] += v
+				}
+			}
+			for _, v := range a {
+				out = putU32(out, math.Float32bits(v))
+			}
+		}
+	}
+	t.mu.RUnlock()
+	return out, nil
+}
