@@ -32,9 +32,11 @@ lint: vet
 # contracts; run them under the race detector too (nn holds the
 # ShardGroup-based ParallelSLS fan-out, embcache the lock-striped
 # hot-row cache consulted by every planned gather, shard the
-# hedged-fan-out client and loopback servers of the remote tier).
+# hedged-fan-out client and loopback servers of the remote tier,
+# sched/adapt the control loop that flips live batch policies under
+# traffic).
 race:
-	$(GO) test -race ./internal/engine ./internal/tensor ./internal/nn ./internal/embcache ./internal/shard
+	$(GO) test -race ./internal/engine ./internal/tensor ./internal/nn ./internal/embcache ./internal/shard ./internal/sched/adapt
 
 # Tier-1 verify recipe (see ROADMAP.md).
 verify: fmt-check build test lint race

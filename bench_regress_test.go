@@ -131,6 +131,11 @@ func regressionCases() []benchCase {
 			run: func(b *testing.B) { benchmarkFCRM(b, false) }},
 		{name: "fc_int8_rm_b256", zeroAlloc: true,
 			run: func(b *testing.B) { benchmarkFCRM(b, true) }},
+		// The fixed-bucket histogram Observe (binary-searched bucket
+		// pick): called on every Rank and every formed batch, and the
+		// windowed-quantile substrate of the adaptive scheduling
+		// controller.
+		{name: "hist_observe", zeroAlloc: true, run: benchmarkHistObserve},
 	}
 }
 

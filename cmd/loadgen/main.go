@@ -7,11 +7,24 @@
 //	loadgen -model rmc2 -machine Skylake -workers 8 -qps 2000 -sla 10ms
 //	loadgen -real -model rmc1 -scale 500 -qps 2000 -requests 5000
 //	loadgen -real -model rmc1 -zipf 1.1 -emb-cache 4096 -requests 5000
+//	loadgen -real -model rmc1 -arrival flash -peak-mult 4 -adapt -sla 5ms
 //
 // With -real, loadgen builds the model and drives the real concurrent
 // engine in-process instead of the discrete-event simulator: measured
 // wall-clock latencies, formed-batch histogram, and per-operator time
 // from the instrumented forward pass.
+//
+// -arrival selects the arrival process (real mode): "poisson" (steady),
+// "flash" (rate steps to -peak-mult× at -arrival-period and holds),
+// "bursty" (square wave with period -arrival-period), or "diurnal"
+// (sinusoid). The QPS-at-SLA methodology reads the goodput line —
+// requests per second completed within -sla — which is what a batch
+// policy is actually buying.
+//
+// -adapt (real mode) runs the adaptive scheduling controller against
+// the engine while the load plays: the batch policy is re-tuned from
+// the observed windowed p99 every -adapt-interval, and the controller's
+// per-model summary prints at the end. Requires -sla.
 //
 // -zipf s (real mode) draws sparse IDs from a per-table Zipf(s)
 // generator instead of uniform (0 keeps uniform) and reports the
@@ -42,12 +55,39 @@ import (
 	"recsys/internal/engine"
 	"recsys/internal/model"
 	"recsys/internal/obs"
+	"recsys/internal/sched/adapt"
 	"recsys/internal/server"
 	"recsys/internal/shard"
 	"recsys/internal/stats"
 	"recsys/internal/tensor"
 	"recsys/internal/trace"
 )
+
+// realConfig carries the -real mode knobs into runReal.
+type realConfig struct {
+	cfg       model.Config
+	scale     int
+	batch     int
+	workers   int
+	qps       float64
+	requests  int
+	sla       time.Duration
+	seed      uint64
+	maxBatch  int
+	maxWait   time.Duration
+	traceOn   bool
+	zipfS     float64
+	embCache  int
+	embPolicy string
+	embShards string
+	embHedge  time.Duration
+
+	arrival       string
+	peakMult      float64
+	arrivalPeriod time.Duration
+	adapt         bool
+	adaptInterval time.Duration
+}
 
 func main() {
 	var (
@@ -69,8 +109,27 @@ func main() {
 		embPolicy   = flag.String("emb-cache-policy", "lru", "emb-cache eviction policy: lru, fifo, or clock")
 		embShards   = flag.String("emb-shards", "", "in -real mode, comma-separated cmd/embshard addresses to fan embedding gathers out to (shards must serve the same -model/-scale/-seed)")
 		embHedge    = flag.Duration("emb-hedge-after", 0, "with -emb-shards, fixed hedge floor (0 = adaptive default, negative disables hedging)")
+
+		arrival       = flag.String("arrival", "poisson", "in -real mode, arrival process: poisson, flash, bursty, or diurnal")
+		peakMult      = flag.Float64("peak-mult", 4, "peak rate multiplier for flash/bursty/diurnal arrivals")
+		arrivalPeriod = flag.Duration("arrival-period", 2*time.Second, "flash switch time, or bursty/diurnal period")
+		adaptOn       = flag.Bool("adapt", false, "in -real mode, run the adaptive scheduling controller against -sla while the load plays")
+		adaptInterval = flag.Duration("adapt-interval", 200*time.Millisecond, "adaptive controller tick period")
 	)
 	flag.Parse()
+
+	// Offered load and volume must be actual loads and volumes: a zero
+	// or negative rate stalls the arrival process forever and a
+	// non-positive request count measures nothing — refuse them up
+	// front instead of hanging or printing NaN percentiles.
+	if *qps <= 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: -qps must be positive, got %g\n", *qps)
+		os.Exit(1)
+	}
+	if *requests <= 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: -requests must be positive, got %d\n", *requests)
+		os.Exit(1)
+	}
 
 	var cfg model.Config
 	switch strings.ToLower(*preset) {
@@ -87,7 +146,15 @@ func main() {
 		os.Exit(1)
 	}
 	if *real {
-		runReal(cfg, *scale, *batch, *workers, *qps, *requests, *sla, *seed, *maxBatch, *maxWait, *traceOn, *zipfS, *embCache, *embPolicy, *embShards, *embHedge)
+		runReal(realConfig{
+			cfg: cfg, scale: *scale, batch: *batch, workers: *workers,
+			qps: *qps, requests: *requests, sla: *sla, seed: *seed,
+			maxBatch: *maxBatch, maxWait: *maxWait, traceOn: *traceOn,
+			zipfS: *zipfS, embCache: *embCache, embPolicy: *embPolicy,
+			embShards: *embShards, embHedge: *embHedge,
+			arrival: *arrival, peakMult: *peakMult, arrivalPeriod: *arrivalPeriod,
+			adapt: *adaptOn, adaptInterval: *adaptInterval,
+		})
 		return
 	}
 	if *traceOn {
@@ -96,6 +163,10 @@ func main() {
 	}
 	if *zipfS != 0 || *embCache != 0 || *embShards != "" {
 		fmt.Fprintln(os.Stderr, "loadgen: -zipf, -emb-cache, and -emb-shards require -real (the simulator has no embedding rows)")
+		os.Exit(1)
+	}
+	if *arrival != "poisson" || *adaptOn {
+		fmt.Fprintln(os.Stderr, "loadgen: -arrival and -adapt require -real (the simulator is steady-state Poisson only)")
 		os.Exit(1)
 	}
 
@@ -138,30 +209,39 @@ func main() {
 	fmt.Printf("goodput:        %.0f req/s within SLA\n", res.GoodputQPS())
 }
 
-// runReal drives the real concurrent engine with Poisson-paced
-// requests and reports measured latency, the formed-batch histogram,
-// and the per-operator time split from the instrumented forward pass.
-func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests int, sla time.Duration, seed uint64, maxBatch int, maxWait time.Duration, traceOn bool, zipfS float64, embCache int, embPolicy string, embShards string, embHedge time.Duration) {
-	if scale > 1 {
-		cfg = cfg.Scaled(scale)
+// runReal drives the real concurrent engine with paced requests from
+// the configured arrival process and reports measured latency, SLA
+// goodput, the formed-batch histogram, and the per-operator time split
+// from the instrumented forward pass. With rc.adapt, the adaptive
+// scheduling controller re-tunes the batch policy live while the load
+// plays.
+func runReal(rc realConfig) {
+	cfg := rc.cfg
+	if rc.scale > 1 {
+		cfg = cfg.Scaled(rc.scale)
 	}
-	rng := stats.NewRNG(seed)
+	if rc.adapt && rc.sla <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -adapt requires a positive -sla target")
+		os.Exit(1)
+	}
+	rng := stats.NewRNG(rc.seed)
 	m, err := model.Build(cfg, rng.Split())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	maxBatch := rc.maxBatch
 	if maxBatch <= 0 {
 		maxBatch = 1
 	}
 	opts := engine.Options{
-		Workers:    workers,
-		QueueDepth: 4 * workers * maxBatch,
+		Workers:    rc.workers,
+		QueueDepth: 4 * rc.workers * maxBatch,
 		MaxBatch:   maxBatch,
-		MaxWait:    maxWait,
-		EmbCache:   engine.EmbCacheOptions{RowsPerTable: embCache, Policy: embPolicy},
+		MaxWait:    rc.maxWait,
+		EmbCache:   engine.EmbCacheOptions{RowsPerTable: rc.embCache, Policy: rc.embPolicy},
 	}
-	if traceOn {
+	if rc.traceOn {
 		opts.TraceRing = 16
 	}
 	// shardCount is stamped into the output header alongside the kernel
@@ -169,10 +249,10 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 	// fan out to a remote tier (the full topology prints below it).
 	shardCount := "local"
 	var mo engine.ModelOptions
-	if embShards != "" {
+	if rc.embShards != "" {
 		client, err := shard.Dial(shard.Options{
-			Addrs:      strings.Split(embShards, ","),
-			HedgeAfter: embHedge,
+			Addrs:      strings.Split(rc.embShards, ","),
+			HedgeAfter: rc.embHedge,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -188,30 +268,47 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 		os.Exit(1)
 	}
 
+	var ctrl *adapt.Controller
+	if rc.adapt {
+		ctrl, err = adapt.New(srv.Engine(), adapt.Config{
+			SLA:      rc.sla,
+			Interval: rc.adaptInterval,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ctrl.Start()
+	}
+
 	// Per-table sparse-ID generators (Zipf skew or uniform) plus unique
 	// tracking, so the achieved unique-ID fraction of the offered
 	// traffic is reported alongside the latency numbers.
 	idGens := make([]trace.IDGenerator, len(cfg.Tables))
 	seen := make([]map[int]struct{}, len(cfg.Tables))
 	for i, tb := range cfg.Tables {
-		if zipfS == 0 {
+		if rc.zipfS == 0 {
 			idGens[i] = trace.NewUniform(tb.Rows, rng.Split())
 		} else {
-			idGens[i] = trace.NewZipfian(tb.Rows, zipfS, rng.Split())
+			idGens[i] = trace.NewZipfian(tb.Rows, rc.zipfS, rng.Split())
 		}
 		seen[i] = make(map[int]struct{})
 	}
 	drawn := make([]int, len(cfg.Tables))
 
-	fmt.Printf("%s real engine  batch=%d workers=%d offered=%.0f QPS  coalesce<=%d wait<=%v  SLA=%v  ids=%s kernel=%s shards=%s\n",
-		cfg.Name, batch, workers, qps, maxBatch, maxWait, sla, idGens[0].Name(), tensor.KernelTier(), shardCount)
+	fmt.Printf("%s real engine  batch=%d workers=%d offered=%.0f QPS (%s)  coalesce<=%d wait<=%v  SLA=%v  ids=%s kernel=%s shards=%s adapt=%v\n",
+		cfg.Name, rc.batch, rc.workers, rc.qps, rc.arrival, maxBatch, rc.maxWait, rc.sla, idGens[0].Name(), tensor.KernelTier(), shardCount, rc.adapt)
 	if mo.EmbShards != nil {
 		fmt.Printf("embedding tier: %s\n", mo.EmbShards.Topology())
 	}
 	fmt.Println()
-	gen := trace.NewLoadGenerator(qps, batch, rng.Split())
-	arrivals := gen.Take(requests)
-	lat := stats.NewSample(requests)
+	gen, err := trace.NewArrivalSource(rc.arrival, rc.qps, rc.peakMult, rc.arrivalPeriod, rc.batch, rng.Split())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: "+err.Error())
+		os.Exit(1)
+	}
+	arrivals := gen.Take(rc.requests)
+	lat := stats.NewSample(rc.requests)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	violations := 0
@@ -221,7 +318,7 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 		if d := at - time.Since(start); d > 0 {
 			time.Sleep(d)
 		}
-		req := model.NewRandomRequest(cfg, batch, rng)
+		req := model.NewRandomRequest(cfg, rc.batch, rng)
 		for t := range idGens {
 			idGens[t].Fill(req.SparseIDs[t])
 			for _, id := range req.SparseIDs[t] {
@@ -239,7 +336,7 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 			l := float64(time.Since(t0).Microseconds())
 			mu.Lock()
 			lat.Add(l)
-			if sla > 0 && l > float64(sla.Microseconds()) {
+			if rc.sla > 0 && l > float64(rc.sla.Microseconds()) {
 				violations++
 			}
 			mu.Unlock()
@@ -247,6 +344,9 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if ctrl != nil {
+		ctrl.Stop()
+	}
 	srv.Close()
 
 	s := lat.Summarize()
@@ -257,6 +357,11 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 	fmt.Printf("latency p99:    %.1fµs\n", s.P99)
 	fmt.Printf("SLA violations: %d (%.2f%%)\n", violations, 100*float64(violations)/float64(lat.Len()))
 	fmt.Printf("throughput:     %.0f req/s\n", float64(lat.Len())/elapsed.Seconds())
+	fmt.Printf("goodput:        %.0f req/s within SLA\n", float64(lat.Len()-violations)/elapsed.Seconds())
+	if ctrl != nil {
+		fmt.Println()
+		fmt.Println(ctrl.String())
+	}
 
 	st := srv.Stats()
 	fmt.Printf("\nformed batches: %d (avg %.1f samples)\n", st.Batches, st.AvgBatch())
@@ -303,7 +408,7 @@ func runReal(cfg model.Config, scale, batch, workers int, qps float64, requests 
 				ss.Addr, ss.Requests, ss.Hedges, ss.HedgeWins, ss.Retries, ss.Errors)
 		}
 	}
-	if traceOn {
+	if rc.traceOn {
 		printSlowest(srv.Traces())
 	}
 }

@@ -39,6 +39,20 @@
 // started with the same preset/scale/seed as the serving node.
 // Single-model only: the tier serves one model's tables.
 //
+// -sla sets a p99 latency target and starts the scheduling observer:
+// every model's windowed tail latency is estimated on a control-loop
+// cadence and exported as recsys_sched_* gauges in GET /metrics.
+// Adding -adapt closes the loop — the controller hill-climbs each
+// model's MaxBatch/MaxWait live against the target (shrinking the
+// batch when p99 breaches the SLA, growing it when there is headroom),
+// and logs a per-model summary at shutdown. -adapt-interval sets the
+// control period.
+//
+// -split N splits requests with more than N samples into near-equal
+// chunks executed in parallel across the worker pool, with the scores
+// merged back in order (bit-identical to the unsplit pass) — the
+// DeepRecSys query-splitting lever for large candidate sets.
+//
 // On SIGINT/SIGTERM, serve stops accepting connections, waits up to
 // -drain for in-flight requests, then drains the engine and exits.
 package main
@@ -59,6 +73,7 @@ import (
 
 	"recsys/internal/engine"
 	"recsys/internal/model"
+	"recsys/internal/sched/adapt"
 	"recsys/internal/shard"
 	"recsys/internal/stats"
 )
@@ -92,6 +107,10 @@ func main() {
 		embPolicy  = flag.String("emb-cache-policy", "lru", "emb-cache eviction policy: lru, fifo, clock, or direct")
 		embShards  = flag.String("emb-shards", "", "comma-separated shard addresses of a remote embedding tier (cmd/embshard); empty = in-process tables")
 		embHedge   = flag.Duration("emb-hedge-after", 0, "hedge floor for shard sub-requests (0 = client default, negative = hedging off)")
+		slaTarget  = flag.Duration("sla", 0, "p99 latency target: export windowed tail estimates as recsys_sched_* metrics (0 = off)")
+		adaptOn    = flag.Bool("adapt", false, "with -sla, hill-climb each model's batch policy live against the target")
+		adaptTick  = flag.Duration("adapt-interval", 500*time.Millisecond, "scheduling control-loop period")
+		splitAbove = flag.Int("split", 0, "split requests larger than N samples across the worker pool, merging scores in order (0 = off)")
 	)
 	flag.Var(&specs, "model",
 		"model to serve, name=preset[:scale][@weight] (repeatable; bare preset = single model)")
@@ -129,6 +148,22 @@ func main() {
 	if err := registerModels(eng, *checkpoint, specs, *scale, *seed, shardClient); err != nil {
 		log.Fatal(err)
 	}
+	if *splitAbove > 0 {
+		for _, name := range eng.Models() {
+			pol, err := eng.Policy(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pol.SplitAbove = *splitAbove
+			if err := eng.SetPolicy(name, pol); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	ctrl, err := startController(eng, *slaTarget, *adaptOn, *adaptTick)
+	if err != nil {
+		log.Fatal(err)
+	}
 	log.Printf("serving %s on %s (%d workers, batch<=%d, wait<=%v)",
 		strings.Join(eng.Models(), ", "), *addr, *workers, *maxBatch, *maxWait)
 
@@ -151,8 +186,41 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("forced shutdown: %v", err)
 	}
+	if ctrl != nil {
+		ctrl.Stop()
+		log.Print(ctrl.String())
+	}
 	eng.Close()
 	log.Print("bye")
+}
+
+// startController wires the adaptive scheduling controller (or the
+// observe-only estimator) over the engine when -sla is set: its
+// recsys_sched_* families join GET /metrics, and with -adapt it
+// actuates each model's batch policy live. Returns nil with no SLA.
+func startController(eng *engine.Engine, sla time.Duration, actuate bool, interval time.Duration) (*adapt.Controller, error) {
+	if sla <= 0 {
+		if actuate {
+			return nil, errors.New("serve: -adapt requires a positive -sla target")
+		}
+		return nil, nil
+	}
+	ctrl, err := adapt.New(eng, adapt.Config{
+		SLA:      sla,
+		Interval: interval,
+		Observe:  !actuate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng.AddMetricsWriter(ctrl.WriteMetrics)
+	ctrl.Start()
+	mode := "observe-only"
+	if actuate {
+		mode = "adaptive"
+	}
+	log.Printf("scheduling controller: %s, sla=%v interval=%v", mode, sla, interval)
+	return ctrl, nil
 }
 
 // buildHandler assembles the serving handler: the engine's endpoints,

@@ -25,6 +25,13 @@ type Policy struct {
 	// dispatches immediately — only requests already queued (or
 	// arriving at the same instant, for the simulator) share a batch.
 	MaxWait time.Duration
+	// SplitAbove, when positive, splits requests carrying more than
+	// this many items into near-equal chunks dispatched independently
+	// across the executor pool and merged back in order — DeepRecSys's
+	// query splitting, which caps the work any single forward pass does
+	// for one oversized candidate set. 0 disables splitting. Only the
+	// real engine splits; the simulator ignores the field.
+	SplitAbove int
 }
 
 // Validate checks the policy bounds.
@@ -34,6 +41,9 @@ func (p Policy) Validate() error {
 	}
 	if p.MaxWait < 0 {
 		return fmt.Errorf("batch: negative MaxWait %v", p.MaxWait)
+	}
+	if p.SplitAbove < 0 {
+		return fmt.Errorf("batch: negative SplitAbove %d", p.SplitAbove)
 	}
 	return nil
 }

@@ -107,6 +107,7 @@ func statsJSON(st Stats) map[string]any {
 		"errors":    st.Errors,
 		"rejected":  st.Rejected,
 		"sheds":     st.Sheds,
+		"splits":    st.Splits,
 		"avg_batch": st.AvgBatch(),
 		"p50_us":    st.P50US,
 		"p95_us":    st.P95US,

@@ -89,6 +89,7 @@ func (e *Engine) WriteMetrics(w io.Writer) {
 		{"recsys_errors_total", "Failed requests (bad input, shed, cancelled, or internal).", func(mq *modelQueue) int64 { return mq.errs.Load() }},
 		{"recsys_rejected_total", "Requests refused by admission-time validation.", func(mq *modelQueue) int64 { return mq.rejected.Load() }},
 		{"recsys_sheds_total", "Deadline sheds: requests dropped without a forward pass.", func(mq *modelQueue) int64 { return mq.sheds.Load() }},
+		{"recsys_splits_total", "Oversized requests split across the executor pool (Policy.SplitAbove).", func(mq *modelQueue) int64 { return mq.splits.Load() }},
 	}
 	for _, c := range counters {
 		obs.WriteFamily(w, c.name, "counter", c.help)
@@ -144,6 +145,27 @@ func (e *Engine) WriteMetrics(w io.Writer) {
 		e.writeEmbCacheMetrics(w, views, lbl)
 	}
 	writeShardMetrics(w, views, lbl)
+
+	e.mu.Lock()
+	var extras []func(io.Writer)
+	extras = append(extras, e.extraMetrics...)
+	e.mu.Unlock()
+	for _, f := range extras {
+		f(w)
+	}
+}
+
+// AddMetricsWriter appends a metrics contributor to the exposition:
+// every GET /metrics (and WriteMetrics call) invokes f after the
+// engine's own families. Components layered above the engine — the
+// adaptive scheduling controller's recsys_sched_* families — publish
+// through here, so one scrape endpoint covers the whole serving
+// stack. Writers must emit deterministic, well-formed exposition text
+// and must not block.
+func (e *Engine) AddMetricsWriter(f func(io.Writer)) {
+	e.mu.Lock()
+	e.extraMetrics = append(e.extraMetrics, f)
+	e.mu.Unlock()
 }
 
 // writeShardMetrics emits the remote-embedding-tier client counters,

@@ -97,8 +97,15 @@ type jobResult struct {
 // Rank calls feed them.
 type modelQueue struct {
 	name   string
-	weight int          // executor pick weight (≥ 1)
-	policy batch.Policy // batch former bounds
+	weight int // executor pick weight (≥ 1)
+
+	// policy holds the batch former's bounds behind an atomic pointer:
+	// the adaptive scheduling controller retunes it at runtime
+	// (Engine.SetPolicy) while executor workers are forming batches,
+	// so a direct struct field would be a read/write race. Accessors
+	// below are the only touch points; formBatch loads one snapshot
+	// per formed batch, so a single dispatch never mixes two policies.
+	policy atomic.Pointer[batch.Policy]
 
 	model atomic.Pointer[model.Model] // swapped atomically by Swap
 
@@ -248,15 +255,25 @@ func newModelQueue(name string, m *model.Model, weight int, policy batch.Policy,
 	mq := &modelQueue{
 		name:   name,
 		weight: weight,
-		policy: policy,
 		ring:   obs.NewRing(traceRing),
 		q:      make(chan *job, depth),
 		gone:   make(chan struct{}),
 	}
+	mq.storePolicy(policy)
 	mq.counters.init()
 	mq.model.Store(m)
 	return mq
 }
+
+// loadPolicy returns the current batch policy by value. Callers that
+// make several policy-dependent decisions must load once and reuse the
+// copy, so one decision never straddles a concurrent SetPolicy.
+func (mq *modelQueue) loadPolicy() batch.Policy { return *mq.policy.Load() }
+
+// storePolicy publishes a new batch policy. The value is copied to a
+// fresh allocation, so readers holding the previous pointer keep a
+// consistent (if stale) policy.
+func (mq *modelQueue) storePolicy(p batch.Policy) { mq.policy.Store(&p) }
 
 // notePop timestamps a traced job's dequeue — the boundary between its
 // queue-wait and batch-form stages.
@@ -297,12 +314,15 @@ func (mq *modelQueue) tryPop() (*job, bool) {
 //     request larger than MaxBatch still dispatches alone — requests
 //     are never split.)
 func (mq *modelQueue) formBatch(first *job, buf []*job, stop <-chan struct{}) (jobs []*job, samples int, carry *job) {
+	// One policy snapshot per formed batch: a SetPolicy racing this
+	// dispatch applies to the next batch, never to half of this one.
+	pol := mq.loadPolicy()
 	jobs = append(buf[:0], first)
 	samples = first.req.Batch
-	if !mq.policy.Enabled() || mq.policy.Full(samples) {
+	if !pol.Enabled() || pol.Full(samples) {
 		return jobs, samples, nil
 	}
-	wait := mq.policy.MaxWait
+	wait := pol.MaxWait
 	if !first.deadline.IsZero() {
 		rem := time.Until(first.deadline)
 		if rem <= 0 {
@@ -337,12 +357,12 @@ func (mq *modelQueue) formBatch(first *job, buf []*job, stop <-chan struct{}) (j
 			mq.shed(next)
 			continue
 		}
-		if samples+next.req.Batch > mq.policy.MaxBatch {
+		if samples+next.req.Batch > pol.MaxBatch {
 			return jobs, samples, next
 		}
 		jobs = append(jobs, next)
 		samples += next.req.Batch
-		if mq.policy.Full(samples) {
+		if pol.Full(samples) {
 			return jobs, samples, nil
 		}
 	}

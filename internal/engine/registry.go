@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"recsys/internal/model"
 	"recsys/internal/obs"
 	"recsys/internal/shard"
+	"recsys/internal/tensor"
 )
 
 // ErrModelNotFound is returned (wrapped with the model name) by Rank,
@@ -53,6 +55,9 @@ type Engine struct {
 	wrrTotal    int
 	wrrCur      map[*modelQueue]int // smooth-WRR state, guarded by mu
 	closed      bool
+	// extraMetrics are exposition contributors layered above the
+	// engine (AddMetricsWriter), guarded by mu.
+	extraMetrics []func(io.Writer)
 
 	wake    chan struct{} // executor wakeup tokens
 	closing chan struct{} // closed first: reject/abort admissions
@@ -213,6 +218,55 @@ func compatibleShape(old, next model.Config) error {
 	return nil
 }
 
+// SetPolicy replaces a registered model's batch policy at runtime —
+// the actuator of the adaptive scheduling controller
+// (internal/sched/adapt), also usable directly for manual retuning.
+// The new policy is published atomically: batches already forming
+// finish under the policy they loaded, the next formBatch sees the
+// new one. A non-positive MaxBatch is normalized to 1 (batching off),
+// matching Register.
+func (e *Engine) SetPolicy(name string, p batch.Policy) error {
+	if p.MaxBatch <= 0 {
+		p.MaxBatch = 1
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	mq, err := e.lookup(name)
+	if err != nil {
+		return err
+	}
+	mq.storePolicy(p)
+	return nil
+}
+
+// Policy returns a registered model's current batch policy.
+func (e *Engine) Policy(name string) (batch.Policy, error) {
+	mq, err := e.lookup(name)
+	if err != nil {
+		return batch.Policy{}, err
+	}
+	return mq.loadPolicy(), nil
+}
+
+// LatencySnapshot returns a model's cumulative end-to-end Rank
+// latency histogram in nanoseconds. Consumers tracking a recent
+// window (the adaptive controller's p99 estimate) difference
+// successive snapshots with obs.HistSnapshot.Sub.
+func (e *Engine) LatencySnapshot(name string) (obs.HistSnapshot, error) {
+	mq, err := e.lookup(name)
+	if err != nil {
+		return obs.HistSnapshot{}, err
+	}
+	return mq.latHist.Snapshot(), nil
+}
+
+// QueueDepth reports the per-model admission queue bound
+// (Options.QueueDepth) — the natural ceiling for any runtime-tuned
+// MaxBatch, since a batch can never coalesce more requests than the
+// queue admits.
+func (e *Engine) QueueDepth() int { return e.opts.QueueDepth }
+
 // Unregister removes a model: new Rank calls fail, blocked admissions
 // abort, and already-queued requests fail with ErrModelNotFound.
 // Batches already picked up by a worker complete normally.
@@ -323,7 +377,27 @@ func sealTrace(mq *modelQueue, tr *obs.Trace, outcome string, err error) {
 // so the caller must not reuse dst until the request's batch has
 // surely drained — pass a fresh buffer per attempt when deadlines can
 // lapse.
+//
+// When the model's policy sets SplitAbove and the request carries more
+// samples than that, the request is split into near-equal chunks
+// dispatched independently across the executor pool and merged back in
+// sample order (rankSplit) — scores are bit-identical to the unsplit
+// path because the forward pass is row-independent.
 func (e *Engine) RankInto(ctx context.Context, name string, dst []float32, req model.Request) ([]float32, error) {
+	if mq, err := e.lookup(name); err == nil {
+		if pol := mq.loadPolicy(); pol.SplitAbove > 0 && req.Batch > pol.SplitAbove {
+			return e.rankSplit(ctx, name, mq, dst, req, pol.SplitAbove)
+		}
+	}
+	// Lookup failures fall through: rankOne re-resolves under the
+	// admission lock and reports the authoritative error (not-found or
+	// closed) with the usual counter and trace bookkeeping.
+	return e.rankOne(ctx, name, dst, req)
+}
+
+// rankOne is the unsplit admission path: validate, enqueue, await the
+// executor's response.
+func (e *Engine) rankOne(ctx context.Context, name string, dst []float32, req model.Request) ([]float32, error) {
 	// Admission: resolve the queue and register as a sender under the
 	// lock, so Close and Unregister wait for the enqueue (or its
 	// abort) before draining.
@@ -432,6 +506,104 @@ func (e *Engine) RankInto(ctx context.Context, name string, dst []float32, req m
 		mq.errs.Add(1)
 		return nil, ctx.Err()
 	}
+}
+
+// rankSplit fans one oversized request out as ceil(batch/chunkMax)
+// near-equal chunks — DeepRecSys's query splitting: a large candidate
+// set stops serializing behind one forward pass and instead occupies
+// several executor workers concurrently, trading aggregate work for
+// tail latency. Each chunk rides the normal admission path (validated,
+// queued, batched, counted, and latency-recorded like any request —
+// the controller's p99 window therefore sees chunk latencies, which
+// are what the batch policy actually controls), while the parent
+// counts once in Stats.Splits.
+//
+// Ordered merge: chunk i's scores land in res[off_i:off_i+n_i], a
+// subslice of the parent's result buffer carved before dispatch — the
+// merge is positional, so no ordering is ever recovered after the
+// fact and the concatenation is bit-identical to the unsplit pass.
+func (e *Engine) rankSplit(ctx context.Context, name string, mq *modelQueue, dst []float32, req model.Request, chunkMax int) ([]float32, error) {
+	// Validate the parent once up front: a malformed oversized request
+	// is refused with one typed error before any chunk is admitted.
+	cfg := mq.model.Load().Config
+	if err := model.ValidateRequest(cfg, req); err != nil {
+		mq.rejected.Add(1)
+		mq.errs.Add(1)
+		return nil, err
+	}
+	chunks := (req.Batch + chunkMax - 1) / chunkMax
+	mq.splits.Add(1)
+	res := dst[:0]
+	if cap(res) < req.Batch {
+		res = make([]float32, 0, req.Batch)
+	}
+	res = res[:req.Batch]
+
+	base, rem := req.Batch/chunks, req.Batch%chunks
+	errs := make([]error, chunks)
+	var wg sync.WaitGroup
+	off := 0
+	for i := 0; i < chunks; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		sub := subRequest(cfg, req, off, size)
+		// A three-index subslice caps the chunk's buffer at its slot, so
+		// the in-place append in deliver can never bleed into the next
+		// chunk's rows.
+		buf := res[off : off : off+size]
+		run := func(i int, sub model.Request, buf []float32) {
+			out, err := e.rankOne(ctx, name, buf, sub)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// deliver appends into buf's backing array in place; copy
+			// only if an unexpected growth re-homed the scores.
+			if len(out) > 0 && &out[0] != &buf[:1][0] {
+				copy(buf[:len(out)], out)
+			}
+		}
+		if i < chunks-1 {
+			wg.Add(1)
+			go func(i int, sub model.Request, buf []float32) {
+				defer wg.Done()
+				run(i, sub, buf)
+			}(i, sub, buf)
+		} else {
+			// The last chunk runs on the caller's goroutine.
+			run(i, sub, buf)
+		}
+		off += size
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// subRequest views one chunk of req without copying: dense rows and
+// per-table ID lists are subsliced by sample offset. The chunk aliases
+// the parent request, which the caller keeps alive across the rank.
+func subRequest(cfg model.Config, req model.Request, off, n int) model.Request {
+	sub := model.Request{Batch: n}
+	if req.Dense != nil && cfg.DenseIn > 0 {
+		cols := cfg.DenseIn
+		sub.Dense = tensor.FromSlice(req.Dense.Data()[off*cols:(off+n)*cols], n, cols)
+	}
+	if len(req.SparseIDs) > 0 {
+		ids := make([][]int, len(req.SparseIDs))
+		for t := range req.SparseIDs {
+			lk := cfg.Tables[t].Lookups
+			ids[t] = req.SparseIDs[t][off*lk : (off+n)*lk]
+		}
+		sub.SparseIDs = ids
+	}
+	return sub
 }
 
 // Traces returns the retained request traces of one model ("" = the

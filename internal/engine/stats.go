@@ -24,6 +24,10 @@ type Stats struct {
 	// because their context was already done — at admission, at queue
 	// pop, or just before processing.
 	Sheds int64
+	// Splits counts oversized requests fanned out across the executor
+	// pool (Policy.SplitAbove). Each chunk then counts as its own
+	// request, so Requests grows by the chunk count, Splits by one.
+	Splits int64
 	// P50US, P95US, and P99US are end-to-end Rank latency percentiles
 	// in microseconds over a sliding window of recent requests.
 	P50US, P95US, P99US float64
@@ -69,6 +73,7 @@ func (s *Stats) merge(other Stats) {
 	s.Errors += other.Errors
 	s.Rejected += other.Rejected
 	s.Sheds += other.Sheds
+	s.Splits += other.Splits
 	for sz, n := range other.BatchHist {
 		if s.BatchHist == nil {
 			s.BatchHist = make(map[int]int64)
@@ -125,6 +130,7 @@ type counters struct {
 	errs     atomic.Int64
 	rejected atomic.Int64 // admission-validation refusals
 	sheds    atomic.Int64 // deadline sheds (no forward pass run)
+	splits   atomic.Int64 // oversized requests split across the pool
 
 	// kindNS accumulates instrumented forward-pass time per operator
 	// kind, in nanoseconds. Executor workers add concurrently.
@@ -207,6 +213,7 @@ func (c *counters) snapshot() Stats {
 		Errors:   c.errs.Load(),
 		Rejected: c.rejected.Load(),
 		Sheds:    c.sheds.Load(),
+		Splits:   c.splits.Load(),
 	}
 	c.latMu.Lock()
 	if c.latLen > 0 {

@@ -147,6 +147,116 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 	}
 }
 
+// TestObserveBinarySearchMatchesLinear pins the bucket-selection
+// refactor: binary search must land every value in exactly the bucket
+// the original linear scan chose, including the bound-equality and
+// +Inf edge cases.
+func TestObserveBinarySearchMatchesLinear(t *testing.T) {
+	bounds := []int64{10, 100, 1000}
+	for _, v := range []int64{-5, 0, 9, 10, 11, 99, 100, 101, 1000, 1001, 1 << 40} {
+		h := NewHistogram(bounds)
+		h.Observe(v)
+		want := 0
+		for want < len(bounds) && v > bounds[want] {
+			want++
+		}
+		s := h.Snapshot()
+		for i, c := range s.Counts {
+			if (i == want) != (c == 1) {
+				t.Fatalf("Observe(%d): counts %v, want single count in bucket %d", v, s.Counts, want)
+			}
+		}
+	}
+}
+
+func TestSnapshotSubDelta(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	first := h.Snapshot()
+	h.Observe(50)
+	h.Observe(500)
+	delta := h.Snapshot().Sub(first)
+	if got, want := delta.Counts, []int64{0, 1, 1}; len(got) != len(want) || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("delta counts %v, want %v", got, want)
+	}
+	if delta.Count != 2 || delta.Sum != 550 {
+		t.Fatalf("delta count=%d sum=%d, want 2, 550", delta.Count, delta.Sum)
+	}
+	// Zero-value prev is start-of-time: the delta is the snapshot itself.
+	if d := first.Sub(HistSnapshot{}); d.Count != first.Count {
+		t.Fatalf("Sub(zero) count %d, want %d", d.Count, first.Count)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]int64{100, 200, 400})
+	// 100 values uniformly in (100, 200]: the q-quantile interpolates
+	// to 100 + q*100.
+	for i := 0; i < 100; i++ {
+		h.Observe(150)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 150 {
+		t.Fatalf("Quantile(0.5) = %v, want 150", got)
+	}
+	if got := s.Quantile(0.99); got != 199 {
+		t.Fatalf("Quantile(0.99) = %v, want 199", got)
+	}
+	// First bucket interpolates from zero.
+	h2 := NewHistogram([]int64{100, 200})
+	h2.Observe(10)
+	if got := h2.Snapshot().Quantile(1); got != 100 {
+		t.Fatalf("first-bucket Quantile(1) = %v, want 100", got)
+	}
+	// +Inf bucket clamps to the last finite bound.
+	h3 := NewHistogram([]int64{100, 200})
+	h3.Observe(10_000)
+	if got := h3.Snapshot().Quantile(0.99); got != 200 {
+		t.Fatalf("+Inf Quantile = %v, want clamp to 200", got)
+	}
+	// Empty snapshot.
+	if got := NewHistogram([]int64{10}).Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileSpansBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 30})
+	// 50 in (0,10], 30 in (10,20], 20 in (20,30]: p90 rank 90 lands 10
+	// deep into the 20-count third bucket → 20 + (90-80)/20 * 10 = 25.
+	for i := 0; i < 50; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(15)
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(25)
+	}
+	if got := h.Snapshot().Quantile(0.9); got != 25 {
+		t.Fatalf("Quantile(0.9) = %v, want 25", got)
+	}
+}
+
+func TestWindowAdvance(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	w := NewWindow(h)
+	h.Observe(5)
+	h.Observe(5)
+	if d := w.Advance(); d.Count != 2 {
+		t.Fatalf("first window count %d, want 2", d.Count)
+	}
+	h.Observe(50)
+	if d := w.Advance(); d.Count != 1 || d.Counts[1] != 1 {
+		t.Fatalf("second window %+v, want one value in bucket 1", d)
+	}
+	// An idle window is empty, not a replay.
+	if d := w.Advance(); d.Count != 0 {
+		t.Fatalf("idle window count %d, want 0", d.Count)
+	}
+}
+
 func TestWriteHistogramCumulativeAndScaled(t *testing.T) {
 	h := NewHistogram([]int64{1_000_000, 10_000_000}) // 1ms, 10ms in ns
 	h.Observe(500_000)

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"recsys/internal/stats"
+)
+
+// countIn returns how many arrivals land in [lo, hi) microseconds.
+func countIn(arrivals []Arrival, lo, hi float64) int {
+	n := 0
+	for _, a := range arrivals {
+		if a.TimeUS >= lo && a.TimeUS < hi {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFlashCrowdRateStep: the empirical rate after the step must be
+// ≈ mult× the rate before it.
+func TestFlashCrowdRateStep(t *testing.T) {
+	rng := stats.NewRNG(7)
+	g := NewVariableLoadGenerator(FlashCrowd(1000, 4, time.Second), 1, rng)
+	arrivals := g.Take(30000)
+	before := countIn(arrivals, 0, 1e6)
+	after := countIn(arrivals, 1e6, 2e6)
+	ratio := float64(after) / float64(before)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("flash crowd post/pre arrival ratio = %.2f (pre=%d post=%d), want ≈ 4", ratio, before, after)
+	}
+}
+
+// TestBurstyRateSquareWave: second half of each period carries ≈ mult×
+// the first half's arrivals.
+func TestBurstyRateSquareWave(t *testing.T) {
+	rng := stats.NewRNG(11)
+	g := NewVariableLoadGenerator(BurstyRate(2000, 3, time.Second), 1, rng)
+	arrivals := g.Take(40000)
+	var loHalf, hiHalf int
+	for p := 0; p < 4; p++ {
+		base := float64(p) * 1e6
+		loHalf += countIn(arrivals, base, base+5e5)
+		hiHalf += countIn(arrivals, base+5e5, base+1e6)
+	}
+	ratio := float64(hiHalf) / float64(loHalf)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("bursty high/low half ratio = %.2f, want ≈ 3", ratio)
+	}
+}
+
+// TestDiurnalRateSwing: the sinusoid's trough half-period must carry
+// fewer arrivals than its peak half-period, and total volume must sit
+// between the pure-base and pure-peak extremes.
+func TestDiurnalRateSwing(t *testing.T) {
+	rng := stats.NewRNG(13)
+	g := NewVariableLoadGenerator(DiurnalRate(1000, 4, 2*time.Second), 1, rng)
+	arrivals := g.Take(20000)
+	// Period 2s, cosine trough at t=0: [0, 0.5s)+[1.5s, 2s) is the low
+	// shoulder, [0.5s, 1.5s) the high one.
+	low := countIn(arrivals, 0, 5e5) + countIn(arrivals, 15e5, 2e6)
+	high := countIn(arrivals, 5e5, 15e5)
+	if low >= high {
+		t.Fatalf("diurnal trough (%d) not below peak (%d)", low, high)
+	}
+	total := countIn(arrivals, 0, 2e6)
+	if total <= 2200 || total >= 7800 {
+		t.Fatalf("diurnal 2s volume %d outside (2200, 7800) — mean rate should be ≈ 2500 QPS", total)
+	}
+}
+
+// TestArrivalTimesMonotonic: every generator must emit strictly
+// increasing arrival times.
+func TestArrivalTimesMonotonic(t *testing.T) {
+	for _, kind := range []string{"poisson", "flash", "bursty", "diurnal"} {
+		g, err := NewArrivalSource(kind, 5000, 4, 100*time.Millisecond, 2, stats.NewRNG(3))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		prev := -1.0
+		for _, a := range g.Take(5000) {
+			if a.TimeUS <= prev {
+				t.Fatalf("%s: non-increasing arrival time %f after %f", kind, a.TimeUS, prev)
+			}
+			if a.Batch != 2 {
+				t.Fatalf("%s: batch = %d, want 2", kind, a.Batch)
+			}
+			prev = a.TimeUS
+		}
+	}
+}
+
+// TestNewArrivalSourceValidation: bad parameters are errors, not
+// panics or silent defaults.
+func TestNewArrivalSourceValidation(t *testing.T) {
+	rng := stats.NewRNG(1)
+	cases := []struct {
+		name   string
+		kind   string
+		qps    float64
+		mult   float64
+		period time.Duration
+	}{
+		{"unknown_kind", "exponential", 100, 4, time.Second},
+		{"zero_qps", "poisson", 0, 4, time.Second},
+		{"negative_qps", "flash", -5, 4, time.Second},
+		{"sub_unity_mult", "flash", 100, 0.5, time.Second},
+		{"zero_period", "bursty", 100, 4, 0},
+	}
+	for _, tc := range cases {
+		if _, err := NewArrivalSource(tc.kind, tc.qps, tc.mult, tc.period, 1, rng); err == nil {
+			t.Errorf("%s: NewArrivalSource accepted invalid parameters", tc.name)
+		}
+	}
+}
+
+// TestPoissonSourceMatchesLoadGenerator: the "poisson" kind is the
+// homogeneous generator, bit-for-bit.
+func TestPoissonSourceMatchesLoadGenerator(t *testing.T) {
+	a, err := NewArrivalSource("poisson", 1000, 0, 0, 4, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewLoadGenerator(1000, 4, stats.NewRNG(5))
+	got, want := a.Take(100), b.Take(100)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
