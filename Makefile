@@ -34,9 +34,10 @@ lint: vet
 # hot-row cache consulted by every planned gather, shard the
 # hedged-fan-out client and loopback servers of the remote tier,
 # sched/adapt the control loop that flips live batch policies under
-# traffic).
+# traffic, online the background train→quantize→swap updater, and
+# scenario the chaos harness that storms swaps against live load).
 race:
-	$(GO) test -race ./internal/engine ./internal/tensor ./internal/nn ./internal/embcache ./internal/shard ./internal/sched/adapt
+	$(GO) test -race ./internal/engine ./internal/tensor ./internal/nn ./internal/embcache ./internal/shard ./internal/sched/adapt ./internal/online ./internal/scenario
 
 # Tier-1 verify recipe (see ROADMAP.md).
 verify: fmt-check build test lint race

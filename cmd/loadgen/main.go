@@ -38,6 +38,13 @@
 // tables; every shard must serve the same -model/-scale/-seed so the
 // weights match. The output header stamps the kernel tier and the
 // shard topology so saved runs are comparable.
+//
+// -online (real mode) runs the continuous train→quantize→swap loop
+// in-process while the load plays: served traffic is labeled by a
+// synthetic teacher into a replay buffer, and every -online-interval a
+// candidate is trained, snapshotted, and hot-swapped under the live
+// load. The summary reports the generations published — a smoke test
+// that swaps under traffic cost no requests.
 package main
 
 import (
@@ -55,12 +62,14 @@ import (
 	"recsys/internal/engine"
 	"recsys/internal/model"
 	"recsys/internal/obs"
+	"recsys/internal/online"
 	"recsys/internal/sched/adapt"
 	"recsys/internal/server"
 	"recsys/internal/shard"
 	"recsys/internal/stats"
 	"recsys/internal/tensor"
 	"recsys/internal/trace"
+	"recsys/internal/train"
 )
 
 // realConfig carries the -real mode knobs into runReal.
@@ -87,6 +96,9 @@ type realConfig struct {
 	arrivalPeriod time.Duration
 	adapt         bool
 	adaptInterval time.Duration
+
+	online         bool
+	onlineInterval time.Duration
 }
 
 func main() {
@@ -115,6 +127,9 @@ func main() {
 		arrivalPeriod = flag.Duration("arrival-period", 2*time.Second, "flash switch time, or bursty/diurnal period")
 		adaptOn       = flag.Bool("adapt", false, "in -real mode, run the adaptive scheduling controller against -sla while the load plays")
 		adaptInterval = flag.Duration("adapt-interval", 200*time.Millisecond, "adaptive controller tick period")
+
+		onlineOn       = flag.Bool("online", false, "in -real mode, run the continuous train→quantize→swap loop under the load")
+		onlineInterval = flag.Duration("online-interval", 250*time.Millisecond, "online update cycle period")
 	)
 	flag.Parse()
 
@@ -154,6 +169,7 @@ func main() {
 			embShards: *embShards, embHedge: *embHedge,
 			arrival: *arrival, peakMult: *peakMult, arrivalPeriod: *arrivalPeriod,
 			adapt: *adaptOn, adaptInterval: *adaptInterval,
+			online: *onlineOn, onlineInterval: *onlineInterval,
 		})
 		return
 	}
@@ -167,6 +183,10 @@ func main() {
 	}
 	if *arrival != "poisson" || *adaptOn {
 		fmt.Fprintln(os.Stderr, "loadgen: -arrival and -adapt require -real (the simulator is steady-state Poisson only)")
+		os.Exit(1)
+	}
+	if *onlineOn {
+		fmt.Fprintln(os.Stderr, "loadgen: -online requires -real (the simulator has no trainable weights)")
 		os.Exit(1)
 	}
 
@@ -281,6 +301,41 @@ func runReal(rc realConfig) {
 		ctrl.Start()
 	}
 
+	// With -online, the continuous train→quantize→swap loop runs on its
+	// own cadence while the load plays: served traffic is labeled by a
+	// synthetic teacher into a replay buffer the background trainer
+	// samples from, and each cycle hot-swaps a fresh candidate under
+	// the live traffic. No held-out gate here — the smoke run asserts
+	// swaps land cleanly, not training quality.
+	var upd *online.Updater
+	var buf *online.ClickBuffer
+	if rc.online {
+		teacher, err := train.NewTeacher(cfg, rc.seed+1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf, err = online.NewClickBuffer(cfg, 1<<14, rc.seed+2)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv.Engine().SetServeTap(buf.Tap(teacher))
+		upd, err = online.New(srv.Engine(), online.Config{
+			Model:         engine.DefaultModelName,
+			Stream:        buf,
+			StepsPerCycle: 4,
+			BatchSize:     16,
+			LR:            0.02,
+			Interval:      rc.onlineInterval,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		upd.Start()
+	}
+
 	// Per-table sparse-ID generators (Zipf skew or uniform) plus unique
 	// tracking, so the achieved unique-ID fraction of the offered
 	// traffic is reported alongside the latency numbers.
@@ -347,6 +402,9 @@ func runReal(rc realConfig) {
 	if ctrl != nil {
 		ctrl.Stop()
 	}
+	if upd != nil {
+		upd.Stop()
+	}
 	srv.Close()
 
 	s := lat.Summarize()
@@ -361,6 +419,11 @@ func runReal(rc realConfig) {
 	if ctrl != nil {
 		fmt.Println()
 		fmt.Println(ctrl.String())
+	}
+	if upd != nil {
+		ost := upd.Stats()
+		fmt.Printf("\nonline updater: gen=%d swaps=%d rollbacks=%d steps=%d examples=%d labeled=%d\n",
+			ost.Generation, ost.Swaps, ost.Rollbacks, ost.Steps, ost.Examples, buf.Fed())
 	}
 
 	st := srv.Stats()

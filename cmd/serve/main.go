@@ -53,6 +53,22 @@
 // merged back in order (bit-identical to the unsplit pass) — the
 // DeepRecSys query-splitting lever for large candidate sets.
 //
+// -online starts the continuous train→quantize→swap loop on the
+// default model: served traffic is labeled (synthetic click feedback)
+// into a replay buffer, a background trainer fits an fp32 twin, and
+// every -online-interval a candidate snapshot is re-quantized to match
+// the serving model, gated on held-out loss (rolling back on
+// regression, -online-rollback-tol), and hot-swapped in without
+// dropping traffic. -online-ab N publishes each candidate as a weighted
+// canary instead — N% of POST /rank traffic routes to <model>-next
+// until the next cycle promotes it. Progress is exported as
+// recsys_online_* families in GET /metrics.
+//
+// -watch D polls the -checkpoint file every D and hot-swaps the serving
+// model whenever the file changes — the file-based half of the
+// continuous-training pipeline (cmd/train -snapshot-every writes, serve
+// -watch picks up).
+//
 // On SIGINT/SIGTERM, serve stops accepting connections, waits up to
 // -drain for in-flight requests, then drains the engine and exits.
 package main
@@ -65,6 +81,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
 	"strconv"
 	"strings"
@@ -73,9 +90,11 @@ import (
 
 	"recsys/internal/engine"
 	"recsys/internal/model"
+	"recsys/internal/online"
 	"recsys/internal/sched/adapt"
 	"recsys/internal/shard"
 	"recsys/internal/stats"
+	"recsys/internal/train"
 )
 
 // modelSpecs collects repeated -model flags.
@@ -111,6 +130,17 @@ func main() {
 		adaptOn    = flag.Bool("adapt", false, "with -sla, hill-climb each model's batch policy live against the target")
 		adaptTick  = flag.Duration("adapt-interval", 500*time.Millisecond, "scheduling control-loop period")
 		splitAbove = flag.Int("split", 0, "split requests larger than N samples across the worker pool, merging scores in order (0 = off)")
+
+		onlineOn     = flag.Bool("online", false, "run the continuous train→quantize→swap loop on the default model (synthetic click labels)")
+		onlineEvery  = flag.Duration("online-interval", time.Second, "online update cycle period")
+		onlineSteps  = flag.Int("online-steps", 8, "training steps per online cycle")
+		onlineBatch  = flag.Int("online-batch", 32, "online training batch size (samples)")
+		onlineLR     = flag.Float64("online-lr", 0.01, "online learning rate")
+		onlineQuant  = flag.String("online-quantize", "auto", "candidate quantization: auto (mirror serving model), tables, or off")
+		onlineTol    = flag.Float64("online-rollback-tol", 0.05, "relative held-out loss regression that rolls a candidate back")
+		onlineAB     = flag.Int("online-ab", 0, "publish candidates as a canary taking N% of POST /rank traffic, promoted next cycle (0 = swap in place)")
+		onlineBuffer = flag.Int("online-buffer", 1<<16, "click replay buffer capacity (samples)")
+		watchEvery   = flag.Duration("watch", 0, "poll -checkpoint at this period and hot-swap the model when the file changes (0 = off)")
 	)
 	flag.Var(&specs, "model",
 		"model to serve, name=preset[:scale][@weight] (repeatable; bare preset = single model)")
@@ -164,10 +194,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	upd, err := startOnline(eng, onlineConfig{
+		enabled:  *onlineOn,
+		interval: *onlineEvery,
+		steps:    *onlineSteps,
+		batch:    *onlineBatch,
+		lr:       *onlineLR,
+		quantize: *onlineQuant,
+		tol:      *onlineTol,
+		abWeight: *onlineAB,
+		buffer:   *onlineBuffer,
+		seed:     *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stopWatch, err := startWatcher(eng, *checkpoint, *watchEvery)
+	if err != nil {
+		log.Fatal(err)
+	}
 	log.Printf("serving %s on %s (%d workers, batch<=%d, wait<=%v)",
 		strings.Join(eng.Models(), ", "), *addr, *workers, *maxBatch, *maxWait)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: buildHandler(eng, *timeout, *pprofOn)}
+	handler := buildHandler(eng, *timeout, *pprofOn)
+	if upd != nil && upd.Router() != nil {
+		handler = abMiddleware(eng, upd.Router(), handler)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
@@ -190,8 +243,174 @@ func main() {
 		ctrl.Stop()
 		log.Print(ctrl.String())
 	}
+	if stopWatch != nil {
+		stopWatch()
+	}
+	if upd != nil {
+		upd.Stop()
+		st := upd.Stats()
+		log.Printf("online updater: gen=%d steps=%d swaps=%d promotions=%d rollbacks=%d",
+			st.Generation, st.Steps, st.Swaps, st.Promotions, st.Rollbacks)
+	}
 	eng.Close()
 	log.Print("bye")
+}
+
+// onlineConfig carries the -online* flags into startOnline.
+type onlineConfig struct {
+	enabled  bool
+	interval time.Duration
+	steps    int
+	batch    int
+	lr       float64
+	quantize string
+	tol      float64
+	abWeight int
+	buffer   int
+	seed     uint64
+}
+
+// startOnline wires the continuous-training loop over the engine's
+// default model: a synthetic click labeler (a teacher model standing in
+// for the impression/click join of a production pipeline) feeds a
+// replay buffer through the engine's serve tap, and the updater trains,
+// gates, and publishes candidates on its interval. Returns nil when
+// -online is off.
+func startOnline(eng *engine.Engine, oc onlineConfig) (*online.Updater, error) {
+	if !oc.enabled {
+		return nil, nil
+	}
+	var quant online.QuantizeMode
+	switch oc.quantize {
+	case "auto":
+		quant = online.QuantizeAuto
+	case "tables":
+		quant = online.QuantizeTables
+	case "off":
+		quant = online.QuantizeOff
+	default:
+		return nil, fmt.Errorf("serve: -online-quantize must be auto, tables, or off, got %q", oc.quantize)
+	}
+	name := eng.DefaultModel()
+	served, err := eng.Model(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := served.Config
+	teacher, err := train.NewTeacher(cfg, oc.seed+1)
+	if err != nil {
+		return nil, err
+	}
+	holdout, holdoutLabels := teacher.Sample(512)
+	buf, err := online.NewClickBuffer(cfg, oc.buffer, oc.seed+2)
+	if err != nil {
+		return nil, err
+	}
+	eng.SetServeTap(buf.Tap(teacher))
+	upd, err := online.New(eng, online.Config{
+		Model:         name,
+		Stream:        buf,
+		Holdout:       holdout,
+		HoldoutLabels: holdoutLabels,
+		StepsPerCycle: oc.steps,
+		BatchSize:     oc.batch,
+		LR:            float32(oc.lr),
+		Interval:      oc.interval,
+		Quantize:      quant,
+		RollbackTol:   oc.tol,
+		ABWeight:      oc.abWeight,
+		OnSwap: func(gen uint64, _ *model.Model) {
+			log.Printf("online: published generation %d of %s", gen, name)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng.AddMetricsWriter(upd.WriteMetrics)
+	upd.Start()
+	mode := "in-place swap"
+	if oc.abWeight > 0 {
+		mode = fmt.Sprintf("A/B canary %d%%", oc.abWeight)
+	}
+	log.Printf("online updater: model=%s interval=%v steps=%d batch=%d quantize=%s %s",
+		name, oc.interval, oc.steps, oc.batch, oc.quantize, mode)
+	return upd, nil
+}
+
+// startWatcher polls the checkpoint file and hot-swaps the default
+// model when its mtime or size changes — the consumer side of
+// cmd/train -snapshot-every. Returns a stop function, or nil when
+// -watch is off.
+func startWatcher(eng *engine.Engine, checkpoint string, every time.Duration) (func(), error) {
+	if every <= 0 {
+		return nil, nil
+	}
+	if checkpoint == "" {
+		return nil, errors.New("serve: -watch requires -checkpoint")
+	}
+	fi, err := os.Stat(checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	lastMod, lastSize := fi.ModTime(), fi.Size()
+	name := eng.DefaultModel()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			fi, err := os.Stat(checkpoint)
+			if err != nil || (fi.ModTime().Equal(lastMod) && fi.Size() == lastSize) {
+				continue
+			}
+			m, err := model.LoadFile(checkpoint)
+			if err != nil {
+				// A snapshot writer may be mid-rename; retry next tick.
+				log.Printf("watch: load %s: %v", checkpoint, err)
+				continue
+			}
+			if err := eng.Swap(name, m); err != nil {
+				log.Printf("watch: swap: %v", err)
+				continue
+			}
+			lastMod, lastSize = fi.ModTime(), fi.Size()
+			gen, _ := eng.Generation(name)
+			log.Printf("watch: hot-swapped %s from %s (generation %d)", name, checkpoint, gen)
+		}
+	}()
+	log.Printf("watching %s every %v", checkpoint, every)
+	return func() { close(stop); <-done }, nil
+}
+
+// abMiddleware routes bare POST /rank requests across the online
+// updater's A/B arms by rewriting them to POST /rank/{arm} before the
+// engine handler sees them: the canary takes its configured share of
+// default-model traffic while explicit /rank/{model} requests pass
+// through untouched. An arm that vanished between pick and dispatch (a
+// promotion racing traffic) falls back to the primary.
+func abMiddleware(eng *engine.Engine, router *online.ABRouter, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && (r.URL.Path == "/rank" || r.URL.Path == "/rank/") {
+			arm := router.Pick()
+			if arm != router.Primary() {
+				if _, err := eng.Model(arm); err != nil {
+					arm = router.Primary()
+				}
+			}
+			r2 := r.Clone(r.Context())
+			r2.URL.Path = "/rank/" + arm
+			next.ServeHTTP(w, r2)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // startController wires the adaptive scheduling controller (or the

@@ -4,6 +4,11 @@
 //
 //	train -config model.json -steps 2000 -out model.ckpt
 //	train -data day_0.tsv -config model.json -out model.ckpt
+//
+// -snapshot-every N additionally rewrites the -out checkpoint every N
+// steps (atomically, via a temp file and rename), so a co-running
+// `serve -watch` picks up fresh weights while training is still in
+// progress — the file-based half of the continuous-training pipeline.
 package main
 
 import (
@@ -30,6 +35,7 @@ func main() {
 		optimizer  = flag.String("optimizer", "adagrad", "sgd or adagrad")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		evalEvery  = flag.Int("eval-every", 200, "steps between progress reports")
+		snapEvery  = flag.Int("snapshot-every", 0, "atomically rewrite -out every N steps for serve -watch (0 = only at the end)")
 	)
 	flag.Parse()
 
@@ -62,6 +68,12 @@ func main() {
 			log.Fatal(err)
 		}
 		loss := trainer.Step(req, labels)
+		if *snapEvery > 0 && step%*snapEvery == 0 && step != *steps {
+			if err := snapshot(m, *out); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("step %5d  snapshot %s", step, *out)
+		}
 		if step%*evalEvery == 0 || step == *steps {
 			msg := fmt.Sprintf("step %5d  loss %.4f", step, loss)
 			if evaluate != nil {
@@ -70,10 +82,21 @@ func main() {
 			log.Print(msg)
 		}
 	}
-	if err := m.SaveFile(*out); err != nil {
+	if err := snapshot(m, *out); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("wrote checkpoint %s (%s)", *out, cfg.Name)
+}
+
+// snapshot writes the checkpoint through a temp file and renames it
+// into place, so a concurrent reader (serve -watch) never observes a
+// half-written file.
+func snapshot(m *model.Model, out string) error {
+	tmp := out + ".tmp"
+	if err := m.SaveFile(tmp); err != nil {
+		return err
+	}
+	return os.Rename(tmp, out)
 }
 
 func resolveConfig(path string) (model.Config, error) {

@@ -241,6 +241,9 @@ func (e *Engine) process(mq *modelQueue, jobs []*job, samples int, scratch *work
 				fail(mq, j, ferr)
 				continue
 			}
+			if tap := e.serveTap.Load(); tap != nil {
+				(*tap)(mq.name, j.req, out.Data())
+			}
 			deliver(mq, j, out.Data(), execUS, spans, j.req.Batch)
 		}
 		return
@@ -251,6 +254,12 @@ func (e *Engine) process(mq *modelQueue, jobs []*job, samples int, scratch *work
 			fail(mq, j, err)
 		}
 		return
+	}
+	// The serve tap observes the coalesced pass before results are
+	// delivered; merged and the scores alias worker scratch, valid only
+	// during the call.
+	if tap := e.serveTap.Load(); tap != nil {
+		(*tap)(mq.name, merged, out.Data())
 	}
 	off := 0
 	data := out.Data()

@@ -31,6 +31,7 @@ import (
 //	recsys_queue_depth                    gauge
 //	recsys_queue_capacity                 gauge
 //	recsys_model_weight                   gauge
+//	recsys_model_generation               gauge
 //	recsys_rank_latency_seconds           histogram
 //	recsys_batch_size_samples             histogram
 //	recsys_op_seconds_total{model,kind}   counter
@@ -118,6 +119,10 @@ func (e *Engine) WriteMetrics(w io.Writer) {
 	obs.WriteFamily(w, "recsys_model_weight", "gauge", "Executor weighted-fair pick weight.")
 	for _, v := range views {
 		obs.WriteIntSample(w, "recsys_model_weight", lbl(v), int64(v.mq.weight))
+	}
+	obs.WriteFamily(w, "recsys_model_generation", "gauge", "Model swap generation: 1 at registration, +1 per hot swap.")
+	for _, v := range views {
+		obs.WriteIntSample(w, "recsys_model_generation", lbl(v), int64(v.mq.gen.Load()))
 	}
 
 	obs.WriteFamily(w, "recsys_rank_latency_seconds", "histogram", "End-to-end Rank latency.")

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"recsys/internal/model"
+	"recsys/internal/stats"
+)
+
+// TestGenerationCounter: 1 at registration, +1 per swap, typed error
+// for unknown models — the token the online updater and the scenario
+// harness key their mixed-generation checks on.
+func TestGenerationCounter(t *testing.T) {
+	cfg := model.RMC1Small().Scaled(1000)
+	m, err := model.Build(cfg, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Options{Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Generation("m"); err == nil {
+		t.Fatal("Generation of unregistered model succeeded")
+	}
+	if err := eng.Register("m", m, ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if g, err := eng.Generation("m"); err != nil || g != 1 {
+		t.Fatalf("after register: gen %d err %v, want 1", g, err)
+	}
+	for i := 0; i < 3; i++ {
+		next, err := model.Build(cfg, stats.NewRNG(uint64(10+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Swap("m", next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "" resolves to the default model, like the other accessors.
+	if g, err := eng.Generation(""); err != nil || g != 4 {
+		t.Fatalf("after 3 swaps: gen %d err %v, want 4", g, err)
+	}
+}
+
+// TestServeTap: every successfully ranked sample flows through the tap
+// exactly once, with scores matching what the caller received.
+func TestServeTap(t *testing.T) {
+	cfg := model.RMC1Small().Scaled(1000)
+	m, err := model.Build(cfg, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Options{Workers: 2, QueueDepth: 16, MaxBatch: 4, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Register("m", m, ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	tapped := 0
+	var tapScores []float32
+	eng.SetServeTap(func(name string, req model.Request, scores []float32) {
+		mu.Lock()
+		defer mu.Unlock()
+		if name != "m" {
+			t.Errorf("tap model %q, want %q", name, "m")
+		}
+		if len(scores) != req.Batch {
+			t.Errorf("tap got %d scores for batch %d", len(scores), req.Batch)
+		}
+		tapped += req.Batch
+		// The buffers alias worker scratch: copy, never retain.
+		tapScores = append(tapScores, scores...)
+	})
+
+	rng := stats.NewRNG(5)
+	ctx := context.Background()
+	sent := 0
+	var want []float32
+	for i := 0; i < 8; i++ {
+		req := model.NewRandomRequest(cfg, 2, rng)
+		out, err := eng.Rank(ctx, "m", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, out...)
+		sent += req.Batch
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if tapped != sent {
+		t.Fatalf("tap observed %d samples, want %d", tapped, sent)
+	}
+	// Serial ranking means tap order matches send order; scores must be
+	// the exact bits the callers received.
+	if len(tapScores) != len(want) {
+		t.Fatalf("tap captured %d scores, want %d", len(tapScores), len(want))
+	}
+	for i := range want {
+		if math.Float32bits(tapScores[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("score %d: tap %v != caller %v", i, tapScores[i], want[i])
+		}
+	}
+
+	// Removing the tap stops observation.
+	eng.SetServeTap(nil)
+	before := tapped
+	if _, err := eng.Rank(ctx, "m", model.NewRandomRequest(cfg, 2, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if tapped != before {
+		t.Fatal("tap fired after SetServeTap(nil)")
+	}
+}

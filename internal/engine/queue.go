@@ -158,6 +158,14 @@ type modelQueue struct {
 	// always observed as a consistent pair.
 	passMu sync.RWMutex
 
+	// gen counts model generations: 1 at registration, +1 per Swap.
+	// Swap bumps it inside the passMu critical section AFTER storing the
+	// model pointer, so an outside observer that reads gen == G knows
+	// the published model is generation ≥ G, and monotonicity bounds any
+	// later read from above — the two-sided interval the scenario
+	// harness's mixed-generation checker relies on.
+	gen atomic.Uint64
+
 	counters
 }
 
@@ -262,6 +270,7 @@ func newModelQueue(name string, m *model.Model, weight int, policy batch.Policy,
 	mq.storePolicy(policy)
 	mq.counters.init()
 	mq.model.Store(m)
+	mq.gen.Store(1)
 	return mq
 }
 

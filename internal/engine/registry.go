@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"recsys/internal/batch"
@@ -59,10 +60,36 @@ type Engine struct {
 	// engine (AddMetricsWriter), guarded by mu.
 	extraMetrics []func(io.Writer)
 
+	// serveTap, when set, observes every successfully served batch
+	// (SetServeTap) — the click-stream source of the online-learning
+	// loop. Atomic so executor workers load it without the registry
+	// lock; nil costs one pointer load per batch.
+	serveTap atomic.Pointer[ServeTap]
+
 	wake    chan struct{} // executor wakeup tokens
 	closing chan struct{} // closed first: reject/abort admissions
 	done    chan struct{} // closed after senders drain: workers may exit
 	wg      sync.WaitGroup
+}
+
+// ServeTap observes served traffic: the executor invokes the tap once
+// per successful forward pass with the model name, the (possibly
+// coalesced) request, and its scores. Both arguments alias
+// executor-owned buffers that are reused after the call returns — taps
+// must copy what they keep. The tap runs on the serving path, inside
+// the pass lock, concurrently from every executor worker: it must be
+// safe for that concurrency and return quickly.
+type ServeTap func(model string, req model.Request, scores []float32)
+
+// SetServeTap installs (or, with nil, removes) the engine's serve tap.
+// The swap is atomic; in-flight batches finish under the tap they
+// loaded.
+func (e *Engine) SetServeTap(tap ServeTap) {
+	if tap == nil {
+		e.serveTap.Store(nil)
+		return
+	}
+	e.serveTap.Store(&tap)
 }
 
 // NewEngine starts an engine with no registered models. It returns an
@@ -193,9 +220,25 @@ func (e *Engine) Swap(name string, next *model.Model) error {
 	mq.attachRowStores(next)
 	mq.passMu.Lock()
 	mq.invalidateEmbCaches()
+	// Store the model before bumping the generation: a reader that
+	// observes the new generation is then guaranteed the new model is
+	// already published (see the gen field comment).
 	mq.model.Store(next)
+	mq.gen.Add(1)
 	mq.passMu.Unlock()
 	return nil
+}
+
+// Generation returns the named model's swap generation ("" = the
+// default model): 1 when first registered, incremented by every
+// successful Swap. Reading G guarantees requests admitted afterwards
+// are served by a model of generation ≥ G.
+func (e *Engine) Generation(name string) (uint64, error) {
+	mq, err := e.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	return mq.gen.Load(), nil
 }
 
 // compatibleShape checks that requests shaped for old remain valid

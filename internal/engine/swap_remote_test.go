@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"recsys/internal/model"
+	"recsys/internal/shard"
+	"recsys/internal/stats"
+	"recsys/internal/tensor"
+)
+
+// TestSwapDuringInFlightRemoteGather extends the passMu protocol test
+// to the remote-shard path: a hot swap issued while a request's sharded
+// embedding gather is stalled in flight must wait out the whole pass.
+// The in-flight request completes entirely on the OLD model (old dense
+// weights paired with the rows its own gather fetched), and post-swap
+// traffic scores bit-identically to the NEW model — at no point can a
+// new model pair with rows staged or cached under the old generation,
+// even though the swap was requested mid-gather.
+func TestSwapDuringInFlightRemoteGather(t *testing.T) {
+	cfg := model.RMC1Small().Scaled(100)
+	const seed = 7
+	// Hedging off: a hedge re-sends the stalled gather and would let it
+	// finish early, shrinking the window the swap must be excluded from.
+	servers, client := startEmbTier(t, cfg, seed, false, 2, shard.Options{
+		HedgeAfter:     -1,
+		RequestTimeout: 5 * time.Second,
+	})
+	eng, err := NewEngine(shardTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	mA := buildShardModel(t, cfg, seed, false)
+	refA, err := mA.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The next generation shares the tier's tables (replicas of seed 7)
+	// but carries visibly different dense weights.
+	mB, err := mA.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fc := range mB.Top.Layers {
+		w := fc.W.Data()
+		for i := range w {
+			w[i] *= 1.25
+		}
+		fc.InvalidatePacked()
+	}
+	refB, err := mB.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register("m", mA, ModelOptions{EmbShards: client}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	rng := stats.NewRNG(91)
+	arena := tensor.NewArena()
+	bitsMatch := func(got, want []float32) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Warm the gather path (and the embedding cache) on generation A.
+	warm := model.NewRandomRequest(cfg, 2, rng)
+	out, err := eng.Rank(ctx, "m", warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := refA.AppendCTR(nil, warm, arena, 1); !bitsMatch(out, want) {
+		t.Fatal("warm-up scores differ from the generation-A reference")
+	}
+
+	// Stall every gather on every shard, then launch the victim request:
+	// its remote fan-out will be parked mid-pass when the swap arrives.
+	const stall = 250 * time.Millisecond
+	for _, s := range servers {
+		s.SetStall(stall, 1)
+	}
+	victim := model.NewRandomRequest(cfg, 2, rng)
+	var victimDone atomic.Bool
+	victimScores := make(chan []float32, 1)
+	victimErr := make(chan error, 1)
+	go func() {
+		out, err := eng.Rank(ctx, "m", victim)
+		victimDone.Store(true)
+		victimScores <- out
+		victimErr <- err
+	}()
+
+	// Give the victim time to clear admission and enter its forward pass
+	// (batch former max wait is 1ms; the gather then stalls 250ms).
+	time.Sleep(50 * time.Millisecond)
+	if victimDone.Load() {
+		t.Fatal("victim finished before the swap; stall did not hold the gather in flight")
+	}
+	swapStart := time.Now()
+	if err := eng.Swap("m", mB); err != nil {
+		t.Fatal(err)
+	}
+	// Swap's write-side of passMu must have waited out the in-flight
+	// pass: the victim's gather is parked for 250ms, the swap was issued
+	// ~50ms in, so an excluded swap cannot return in under ~200ms.
+	// Returning quickly would mean it cut into a live pass — exactly the
+	// torn state under test.
+	if waited := time.Since(swapStart); waited < 100*time.Millisecond {
+		t.Fatalf("Swap returned after %v — it did not wait out the in-flight remote gather", waited)
+	}
+	for _, s := range servers {
+		s.SetStall(0, 0)
+	}
+	if err := <-victimErr; err != nil {
+		t.Fatalf("victim rank: %v", err)
+	}
+	if got := <-victimScores; !bitsMatch(got, refA.AppendCTR(nil, victim, arena, 1)) {
+		t.Fatal("in-flight request's scores are not pure generation A — swap tore the pass")
+	}
+
+	// Post-swap traffic (including replays of pre-swap requests whose
+	// rows are cache-hot) must be pure generation B: any row staged or
+	// cached under generation A leaking into a B pass would break
+	// bit-identity with the detached B reference.
+	for i, req := range []model.Request{warm, victim, model.NewRandomRequest(cfg, 2, rng)} {
+		out, err := eng.Rank(ctx, "m", req)
+		if err != nil {
+			t.Fatalf("post-swap rank %d: %v", i, err)
+		}
+		if want := refB.AppendCTR(nil, req, arena, 1); !bitsMatch(out, want) {
+			t.Fatalf("post-swap request %d is not pure generation B — stale rows paired with the new model", i)
+		}
+	}
+}

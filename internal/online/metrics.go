@@ -1,0 +1,57 @@
+package online
+
+import (
+	"io"
+	"math"
+
+	"recsys/internal/obs"
+)
+
+// WriteMetrics emits the updater's Prometheus families. Wire it into
+// the engine's exposition with eng.AddMetricsWriter(upd.WriteMetrics).
+//
+//	recsys_online_generation            gauge    model swap generation being maintained
+//	recsys_online_steps_total           counter  training steps taken
+//	recsys_online_examples_total        counter  labeled samples consumed
+//	recsys_online_swaps_total           counter  publications that changed serving
+//	recsys_online_promotions_total      counter  canaries promoted to primary
+//	recsys_online_rollbacks_total       counter  candidates rejected by the quality gate
+//	recsys_online_stream_starved_total  counter  cycles the stream could not fill a batch
+//	recsys_online_holdout_loss          gauge    last candidate's held-out BCE
+//	recsys_online_route_picks_total     counter  per-arm A/B routing picks (router mode)
+func (u *Updater) WriteMetrics(w io.Writer) {
+	lbl := []obs.Label{{Name: "model", Value: u.name}}
+	obs.WriteFamily(w, "recsys_online_generation", "gauge",
+		"Model swap generation maintained by the online updater.")
+	obs.WriteIntSample(w, "recsys_online_generation", lbl, int64(u.generation.Load()))
+	obs.WriteFamily(w, "recsys_online_steps_total", "counter",
+		"Online training steps taken on the fp32 twin.")
+	obs.WriteIntSample(w, "recsys_online_steps_total", lbl, u.steps.Load())
+	obs.WriteFamily(w, "recsys_online_examples_total", "counter",
+		"Labeled samples consumed by online training.")
+	obs.WriteIntSample(w, "recsys_online_examples_total", lbl, u.examples.Load())
+	obs.WriteFamily(w, "recsys_online_swaps_total", "counter",
+		"Hot swaps published by the online updater (including canary promotions).")
+	obs.WriteIntSample(w, "recsys_online_swaps_total", lbl, u.swaps.Load())
+	obs.WriteFamily(w, "recsys_online_promotions_total", "counter",
+		"A/B canaries promoted into the primary slot.")
+	obs.WriteIntSample(w, "recsys_online_promotions_total", lbl, u.promotions.Load())
+	obs.WriteFamily(w, "recsys_online_rollbacks_total", "counter",
+		"Candidate snapshots rejected by the held-out quality gate.")
+	obs.WriteIntSample(w, "recsys_online_rollbacks_total", lbl, u.rollbacks.Load())
+	obs.WriteFamily(w, "recsys_online_stream_starved_total", "counter",
+		"Update cycles that found too little labeled traffic to train.")
+	obs.WriteIntSample(w, "recsys_online_stream_starved_total", lbl, u.starved.Load())
+	obs.WriteFamily(w, "recsys_online_holdout_loss", "gauge",
+		"Held-out BCE loss of the most recent candidate snapshot.")
+	obs.WriteSample(w, "recsys_online_holdout_loss", lbl, math.Float64frombits(u.holdoutBits.Load()))
+	if u.router != nil {
+		obs.WriteFamily(w, "recsys_online_route_picks_total", "counter",
+			"A/B router picks by arm.")
+		for _, arm := range u.router.sortedArmNames() {
+			obs.WriteIntSample(w, "recsys_online_route_picks_total",
+				[]obs.Label{{Name: "model", Value: u.name}, {Name: "arm", Value: arm}},
+				u.router.pickCount(arm))
+		}
+	}
+}

@@ -1,0 +1,473 @@
+package online
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"recsys/internal/engine"
+	"recsys/internal/model"
+	"recsys/internal/stats"
+	"recsys/internal/train"
+)
+
+func testConfig() model.Config { return model.RMC1Small().Scaled(1000) }
+
+func buildModel(t *testing.T, cfg model.Config, seed uint64) *model.Model {
+	t.Helper()
+	m, err := model.Build(cfg, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newTestEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	eng, err := engine.NewEngine(engine.Options{Workers: 2, QueueDepth: 32, MaxBatch: 4, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// TestClickBufferCopyAndRing: the buffer deep-copies what it stores
+// (mutating the fed request later must not corrupt it), refuses batches
+// it cannot fill, and evicts oldest-first once full.
+func TestClickBufferCopyAndRing(t *testing.T) {
+	cfg := testConfig()
+	buf, err := NewClickBuffer(cfg, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(2)
+	if _, _, ok := buf.Sample(1); ok {
+		t.Fatal("empty buffer yielded a sample")
+	}
+
+	req := model.NewRandomRequest(cfg, 4, rng)
+	labels := []float32{1, 0, 1, 0}
+	buf.Add(req, labels)
+	want := req.Dense.Row(0)[0]
+	// Mutate the source after Add: the buffer must have copied.
+	req.Dense.Row(0)[0] = want + 100
+	req.SparseIDs[0][0] = 0
+
+	got, gl, ok := buf.Sample(4)
+	if !ok {
+		t.Fatal("buffer with 4 samples refused batch of 4")
+	}
+	if len(gl) != 4 || got.Batch != 4 {
+		t.Fatalf("sample shape: batch %d labels %d", got.Batch, len(gl))
+	}
+	for i := 0; i < got.Batch; i++ {
+		if v := got.Dense.Row(i)[0]; v == want+100 {
+			t.Fatal("buffer aliased the fed request's dense tensor")
+		}
+	}
+	if _, _, ok := buf.Sample(5); ok {
+		t.Fatal("buffer with 4 samples filled a batch of 5")
+	}
+
+	// Overfill: ring keeps the newest 8 of 12; dense col 0 is stamped so
+	// evicted samples are detectable.
+	for i := 0; i < 12; i++ {
+		r := model.NewRandomRequest(cfg, 1, rng)
+		r.Dense.Row(0)[0] = float32(1000 + i)
+		buf.Add(r, []float32{1})
+	}
+	if buf.Len() != 8 {
+		t.Fatalf("ring holds %d samples, want 8", buf.Len())
+	}
+	s, _, _ := buf.Sample(8)
+	for i := 0; i < 8; i++ {
+		if v := s.Dense.Row(i)[0]; v < 1000+4 {
+			t.Fatalf("sampled evicted stamp %v; oldest 4 should be gone", v)
+		}
+	}
+	if buf.Fed() != 4+12 {
+		t.Fatalf("Fed() = %d, want 16", buf.Fed())
+	}
+}
+
+// TestABRouterSplit: smooth WRR realizes the configured split exactly
+// over any multiple of the total weight, and ranks through the engine.
+func TestABRouterSplit(t *testing.T) {
+	cfg := testConfig()
+	eng := newTestEngine(t)
+	if err := eng.Register("prod", buildModel(t, cfg, 1), engine.ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register("cand", buildModel(t, cfg, 2), engine.ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewABRouter(eng, "prod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetArms(Arm{Name: "prod", Weight: 7}, Arm{Name: "cand", Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(3)
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		if _, _, err := r.Rank(ctx, model.NewRandomRequest(cfg, 1, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	picks := r.Picks()
+	if picks["prod"] != 70 || picks["cand"] != 30 {
+		t.Fatalf("split %v, want prod=70 cand=30", picks)
+	}
+	if r.Fallbacks() != 0 {
+		t.Fatalf("unexpected fallbacks: %d", r.Fallbacks())
+	}
+
+	// Dropping the canary mid-split: Rank falls back to primary instead
+	// of erroring.
+	if err := eng.Unregister("cand"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, served, err := r.Rank(ctx, model.NewRandomRequest(cfg, 1, rng)); err != nil {
+			t.Fatal(err)
+		} else if served != "prod" {
+			t.Fatalf("served %q after canary unregistered", served)
+		}
+	}
+	if r.Fallbacks() != 3 {
+		t.Fatalf("fallbacks = %d, want 3 (canary's share of 10)", r.Fallbacks())
+	}
+
+	// Invalid arm sets are rejected.
+	if err := r.SetArms(); err == nil {
+		t.Fatal("empty arm set accepted")
+	}
+	if err := r.SetArms(Arm{Name: "prod", Weight: 0}); err == nil {
+		t.Fatal("zero-weight arm accepted")
+	}
+}
+
+// TestUpdaterLearns: cycles driven off teacher-labeled traffic reduce
+// held-out loss, bump the engine generation each swap, and the served
+// model scores bit-identically to a fresh clone of the candidate.
+func TestUpdaterLearns(t *testing.T) {
+	cfg := testConfig()
+	eng := newTestEngine(t)
+	served := buildModel(t, cfg, 1)
+	if err := eng.Register("m", served, engine.ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	teacher, err := train.NewTeacher(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdout, holdoutLabels := teacher.Sample(128)
+
+	buf, err := NewClickBuffer(cfg, 4096, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the buffer directly (the serve-tap path is exercised by the
+	// engine tap test and the scenario suite).
+	rng := stats.NewRNG(13)
+	for i := 0; i < 64; i++ {
+		req := model.NewRandomRequest(cfg, 16, rng)
+		buf.Add(req, teacher.Label(req))
+	}
+
+	upd, err := New(eng, Config{
+		Model:         "m",
+		Stream:        buf,
+		Holdout:       holdout,
+		HoldoutLabels: holdoutLabels,
+		StepsPerCycle: 16,
+		BatchSize:     32,
+		LR:            0.05,
+		RollbackTol:   10, // learning test: gate must not trip on noise
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := upd.Stats().BaselineLoss
+
+	var last CycleResult
+	for i := 0; i < 6; i++ {
+		last, err = upd.RunCycle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !last.Swapped || last.RolledBack {
+			t.Fatalf("cycle %d: %+v, want clean swap", i, last)
+		}
+		if last.Steps != 16 {
+			t.Fatalf("cycle %d took %d steps, want 16", i, last.Steps)
+		}
+	}
+	if g, _ := eng.Generation("m"); g != 7 {
+		t.Fatalf("generation %d after 6 swaps, want 7", g)
+	}
+	if last.Generation != 7 {
+		t.Fatalf("result generation %d, want 7", last.Generation)
+	}
+	if float64(last.HoldoutLoss) >= first {
+		t.Fatalf("holdout loss did not improve: %v -> %v", first, last.HoldoutLoss)
+	}
+	st := upd.Stats()
+	if st.Swaps != 6 || st.Rollbacks != 0 || st.Steps != 96 {
+		t.Fatalf("stats %+v, want 6 swaps, 0 rollbacks, 96 steps", st)
+	}
+
+	// The engine now serves exactly the published candidate bits.
+	cur, err := eng.Model("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := model.NewRandomRequest(cfg, 8, stats.NewRNG(99))
+	a := cur.CTR(probe)
+	ref, err := cur.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ref.CTR(probe)
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			t.Fatalf("served model differs from its clone at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestUpdaterQuantizeAuto: when the served model is int8, candidates
+// re-quantize and stay int8 across swaps while the twin trains fp32.
+func TestUpdaterQuantizeAuto(t *testing.T) {
+	cfg := testConfig()
+	eng := newTestEngine(t)
+	served := buildModel(t, cfg, 1)
+	served.QuantizeTables()
+	if err := eng.Register("m", served, engine.ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	upd, err := New(eng, Config{Model: "m"}) // nil stream: swap-only cycles
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := upd.RunCycle(); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := eng.Model("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Quantized() {
+		t.Fatal("QuantizeAuto candidate lost int8 tables")
+	}
+	st := upd.Stats()
+	if st.Swaps != 1 || st.Starved != 1 {
+		t.Fatalf("stats %+v, want 1 swap, 1 starved cycle", st)
+	}
+}
+
+// TestUpdaterRollback: a candidate corrupted between quantize and gate
+// is rejected — generation does not advance, the twin reverts, and the
+// next clean candidate scores as if the corruption never happened.
+func TestUpdaterRollback(t *testing.T) {
+	cfg := testConfig()
+	eng := newTestEngine(t)
+	if err := eng.Register("m", buildModel(t, cfg, 1), engine.ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	teacher, err := train.NewTeacher(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdout, holdoutLabels := teacher.Sample(128)
+
+	corrupt := false
+	upd, err := New(eng, Config{
+		Model:         "m",
+		Holdout:       holdout,
+		HoldoutLabels: holdoutLabels,
+		RollbackTol:   0.2,
+		PreSwapHook: func(gen uint64, cand *model.Model) {
+			if corrupt {
+				sabotage(t, cand)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cycle 1 (clean, no stream): swaps, gen 2.
+	r1, err := upd.RunCycle()
+	if err != nil || !r1.Swapped {
+		t.Fatalf("clean cycle: %+v err %v", r1, err)
+	}
+	cleanLoss := r1.HoldoutLoss
+
+	// Cycle 2 (corrupted): rolled back, gen stays 2.
+	corrupt = true
+	r2, err := upd.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.RolledBack || r2.Swapped {
+		t.Fatalf("corrupted cycle published: %+v", r2)
+	}
+	if g, _ := eng.Generation("m"); g != 2 {
+		t.Fatalf("generation %d after rollback, want 2", g)
+	}
+	if r2.HoldoutLoss <= cleanLoss {
+		t.Fatalf("corruption did not raise holdout loss: %v vs %v", r2.HoldoutLoss, cleanLoss)
+	}
+
+	// Cycle 3 (clean again): the reverted twin yields the same loss as
+	// cycle 1 — the corruption left no residue.
+	corrupt = false
+	r3, err := upd.RunCycle()
+	if err != nil || !r3.Swapped {
+		t.Fatalf("post-rollback cycle: %+v err %v", r3, err)
+	}
+	if math.Float32bits(r3.HoldoutLoss) != math.Float32bits(cleanLoss) {
+		t.Fatalf("post-rollback loss %v != clean loss %v", r3.HoldoutLoss, cleanLoss)
+	}
+	if st := upd.Stats(); st.Rollbacks != 1 || st.Swaps != 2 {
+		t.Fatalf("stats %+v, want 1 rollback, 2 swaps", st)
+	}
+}
+
+// TestUpdaterABCanary: with ABWeight set, a passing candidate is
+// co-located as <model>-next with the configured split, then promoted
+// into the primary slot at the start of the next cycle.
+func TestUpdaterABCanary(t *testing.T) {
+	cfg := testConfig()
+	eng := newTestEngine(t)
+	if err := eng.Register("m", buildModel(t, cfg, 1), engine.ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	upd, err := New(eng, Config{Model: "m", ABWeight: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := upd.Router()
+	if router == nil {
+		t.Fatal("ABWeight > 0 without a router")
+	}
+
+	// Cycle 1: candidate lands as a canary, no swap yet.
+	r1, err := upd.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Swapped || r1.Promoted {
+		t.Fatalf("first AB cycle published in place: %+v", r1)
+	}
+	if _, err := eng.Model("m-next"); err != nil {
+		t.Fatalf("canary not registered: %v", err)
+	}
+	arms := router.Arms()
+	if len(arms) != 2 || arms[0].Weight != 75 || arms[1].Weight != 25 {
+		t.Fatalf("arms %+v, want m:75 m-next:25", arms)
+	}
+	rng := stats.NewRNG(5)
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		if _, _, err := router.Rank(ctx, model.NewRandomRequest(cfg, 1, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	picks := router.Picks()
+	if picks["m"] != 30 || picks["m-next"] != 10 {
+		t.Fatalf("picks %v, want m=30 m-next=10 over 40 (25%% split)", picks)
+	}
+
+	// Cycle 2: the canary promotes (gen 2), a fresh canary replaces it.
+	r2, err := upd.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Promoted {
+		t.Fatalf("second AB cycle did not promote: %+v", r2)
+	}
+	if g, _ := eng.Generation("m"); g != 2 {
+		t.Fatalf("generation %d after promotion, want 2", g)
+	}
+	if st := upd.Stats(); st.Promotions != 1 || st.Swaps != 1 {
+		t.Fatalf("stats %+v, want 1 promotion, 1 swap", st)
+	}
+}
+
+// TestUpdaterStartStop: the ticker loop runs cycles and shuts down
+// cleanly.
+func TestUpdaterStartStop(t *testing.T) {
+	cfg := testConfig()
+	eng := newTestEngine(t)
+	if err := eng.Register("m", buildModel(t, cfg, 1), engine.ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	upd, err := New(eng, Config{Model: "m", Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for upd.Stats().Swaps < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	upd.Stop()
+	upd.Stop() // idempotent
+	if err := upd.LastErr(); err != nil {
+		t.Fatal(err)
+	}
+	if s := upd.Stats().Swaps; s < 2 {
+		t.Fatalf("ticker loop produced %d swaps, want >= 2", s)
+	}
+}
+
+// TestWriteMetrics: the exposition carries the recsys_online_* families
+// with live values, including per-arm routing counters.
+func TestWriteMetrics(t *testing.T) {
+	cfg := testConfig()
+	eng := newTestEngine(t)
+	if err := eng.Register("m", buildModel(t, cfg, 1), engine.ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	upd, err := New(eng, Config{Model: "m", ABWeight: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := upd.RunCycle(); err != nil {
+		t.Fatal(err)
+	}
+	upd.Router().Pick()
+
+	var sb strings.Builder
+	upd.WriteMetrics(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		`recsys_online_generation{model="m"} 1`,
+		`recsys_online_swaps_total{model="m"} 0`,
+		`recsys_online_rollbacks_total{model="m"} 0`,
+		`recsys_online_stream_starved_total{model="m"} 1`,
+		`recsys_online_route_picks_total{model="m",arm="m"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// sabotage scales the top MLP's final weights far out of distribution —
+// the stand-in for a corrupted snapshot.
+func sabotage(t *testing.T, m *model.Model) {
+	t.Helper()
+	fc := m.Top.Layers[len(m.Top.Layers)-1]
+	w := fc.W.Data()
+	for i := range w {
+		w[i] *= 40
+	}
+	fc.InvalidatePacked()
+}

@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"time"
+
+	"recsys/internal/stats"
+)
+
+// Storm fires a fault action at randomized intervals in [Min, Max] —
+// the chaos half of a scenario: hot swaps every 50–200 ms, shard
+// stalls, policy flips. Run loops on the caller's goroutine until stop
+// closes, so tests drive it with `go storm.Run(stop)` alongside the
+// traffic driver.
+type Storm struct {
+	Min, Max time.Duration
+	Seed     uint64
+	// Action is one fault injection. An error stops the storm and is
+	// returned from Run — chaos actions failing is itself a finding.
+	Action func() error
+}
+
+// Run fires Action until stop closes, sleeping a uniform random
+// duration in [Min, Max] between firings. It returns how many times the
+// action fired and the first action error, if any.
+func (s *Storm) Run(stop <-chan struct{}) (int, error) {
+	rng := stats.NewRNG(s.Seed)
+	span := s.Max - s.Min
+	fires := 0
+	for {
+		d := s.Min
+		if span > 0 {
+			d += time.Duration(rng.Int63n(int64(span)))
+		}
+		select {
+		case <-stop:
+			return fires, nil
+		case <-time.After(d):
+		}
+		if err := s.Action(); err != nil {
+			return fires, err
+		}
+		fires++
+	}
+}

@@ -1,0 +1,104 @@
+package scenario_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"recsys/internal/engine"
+	"recsys/internal/model"
+	"recsys/internal/scenario"
+	"recsys/internal/stats"
+	"recsys/internal/train"
+)
+
+func scenarioConfig() model.Config { return model.RMC1Small().Scaled(1000) }
+
+// scenarioEngineOptions pins IntraOpWorkers to 1 so the engine's hot
+// path computes exactly what the checkers' AppendCTR(…, workers=1)
+// reference computes — the bit-identity contract under test.
+func scenarioEngineOptions() engine.Options {
+	return engine.Options{
+		Workers:        2,
+		QueueDepth:     256,
+		MaxBatch:       8,
+		MaxWait:        time.Millisecond,
+		IntraOpWorkers: 1,
+		EmbCache:       engine.EmbCacheOptions{RowsPerTable: 64},
+	}
+}
+
+func buildModel(t *testing.T, cfg model.Config, seed uint64) *model.Model {
+	t.Helper()
+	m, err := model.Build(cfg, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newTeacher(t *testing.T, cfg model.Config, seed uint64) *train.Teacher {
+	t.Helper()
+	teacher, err := train.NewTeacher(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return teacher
+}
+
+// genRefs records a detached clone of the model published at each swap
+// generation — the reference set VerifyGenerations checks mixed-state
+// freedom against. Clones matter: the engine attaches its row cache to
+// the registered model, so scoring the served instance later would read
+// cache rows inserted by newer generations. Feed Record to
+// online.Config.OnSwap.
+type genRefs struct {
+	t    *testing.T
+	mu   sync.Mutex
+	refs map[uint64]*model.Model
+}
+
+func newGenRefs(t *testing.T, gen uint64, m *model.Model) *genRefs {
+	g := &genRefs{t: t, refs: make(map[uint64]*model.Model)}
+	g.Record(gen, m)
+	return g
+}
+
+func (g *genRefs) Record(gen uint64, m *model.Model) {
+	c, err := m.Clone()
+	if err != nil {
+		g.t.Errorf("cloning generation %d reference: %v", gen, err)
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.refs[gen] = c
+}
+
+func (g *genRefs) Snapshot() map[uint64]*model.Model {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[uint64]*model.Model, len(g.refs))
+	for k, v := range g.refs {
+		out[k] = v
+	}
+	return out
+}
+
+func (g *genRefs) At(gen uint64) *model.Model {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.refs[gen]
+}
+
+// requireClean asserts the hard scenario invariant: zero non-shed
+// errors, and at least some traffic actually served.
+func requireClean(t *testing.T, res *scenario.Result) {
+	t.Helper()
+	if res.Failed != 0 {
+		t.Fatalf("%d non-shed errors (first: %v)", res.Failed, res.Errors)
+	}
+	if res.OK == 0 {
+		t.Fatalf("no request succeeded (%d sent, %d shed)", res.Sent, res.Shed)
+	}
+}

@@ -31,8 +31,18 @@ func NewTeacher(cfg model.Config, seed uint64) (*Teacher, error) {
 // Sample draws one labeled batch.
 func (t *Teacher) Sample(batch int) (model.Request, []float32) {
 	req := model.NewRandomRequest(t.m.Config, batch, t.rng)
+	return req, t.Label(req)
+}
+
+// Label draws Bernoulli click labels for an externally supplied request
+// — the feedback channel of the online-learning loop, where requests
+// actually served to users come back with (simulated) click outcomes.
+// Label shares the teacher's RNG with Sample, so calls must not be
+// interleaved concurrently without external synchronization (the online
+// package's ClickBuffer serializes them under its own lock).
+func (t *Teacher) Label(req model.Request) []float32 {
 	probs := t.m.CTR(req)
-	labels := make([]float32, batch)
+	labels := make([]float32, req.Batch)
 	for i, p := range probs {
 		// Sharpen around 0.5, then draw the click.
 		q := 0.5 + t.Sharpen*(p-0.5)
@@ -46,7 +56,7 @@ func (t *Teacher) Sample(batch int) (model.Request, []float32) {
 			labels[i] = 1
 		}
 	}
-	return req, labels
+	return labels
 }
 
 // Evaluate scores a student model on freshly drawn teacher data,
