@@ -63,6 +63,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzValidateRequest -fuzztime $(FUZZTIME) ./internal/model
 	$(GO) test -run xxx -fuzz FuzzRankRequestDecode -fuzztime $(FUZZTIME) ./internal/engine
 	$(GO) test -run xxx -fuzz FuzzGemmKernelEquiv -fuzztime $(FUZZTIME) ./internal/tensor
+	$(GO) test -run xxx -fuzz FuzzGemmI8KernelEquiv -fuzztime $(FUZZTIME) ./internal/tensor
 
 # The kernel-bearing packages with dispatch forced to the pure-Go
 # reference tier — the CI matrix leg that keeps the portable fallback

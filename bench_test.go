@@ -566,6 +566,81 @@ func benchmarkFCRM(b *testing.B, int8Compute bool) {
 func BenchmarkFCRMBatch256(b *testing.B)     { benchmarkFCRM(b, false) }
 func BenchmarkFCInt8RMBatch256(b *testing.B) { benchmarkFCRM(b, true) }
 
+// benchmarkGemmI8RM times the register-tiled int8 GEMM alone (no
+// activation quantization) at the acceptance shape 256×512×256:
+// packed weights and pre-quantized activation codes, one GemmI8 per
+// iteration. Zero-alloc by construction — every buffer is preallocated.
+func benchmarkGemmI8RM(b *testing.B) {
+	const batch, k, n = 256, 512, 256
+	rng := stats.NewRNG(9)
+	codes := make([]int8, k*n)
+	for i := range codes {
+		codes[i] = int8(rng.Intn(255) - 127)
+	}
+	scale := make([]float32, n)
+	colSum := make([]int32, n)
+	for j := 0; j < n; j++ {
+		scale[j] = 0.01
+		var s int32
+		for i := 0; i < k; i++ {
+			s += int32(codes[j*k+i])
+		}
+		colSum[j] = s
+	}
+	pb := tensor.PackBI8(codes, k, n, scale, colSum)
+	ks := pb.KStride()
+	x := make([]int16, batch*ks)
+	sx := make([]float32, batch)
+	zp := make([]int32, batch)
+	row := make([]float32, k)
+	for r := 0; r < batch; r++ {
+		for i := range row {
+			row[i] = rng.Float32()*2 - 1
+		}
+		sx[r] = 2.0 / 255
+		zp[r] = 128
+		tensor.QuantizeRowI16(x[r*ks:r*ks+k], row, 255/2.0, 128.5)
+	}
+	bias := make([]float32, n)
+	y := make([]float32, batch*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.GemmI8(x, sx, zp, pb, bias, y, batch)
+	}
+}
+
+// benchmarkGemmParallel times the cache-blocked ParallelGemmPacked at
+// batch 256 (256×512×512, resolved workers = GOMAXPROCS): the gate
+// case asserting blocked parallel stays ≥ serial at large batch. Not
+// zero-alloc: the multi-worker fan-out path allocates its closure and
+// shard bookkeeping on multi-core hosts.
+func benchmarkGemmParallel(b *testing.B) {
+	r := stats.NewRNG(1)
+	const m, k, n = 256, 512, 512
+	a := tensor.New(m, k)
+	ad := a.Data()
+	for i := range ad {
+		ad[i] = r.Float32()*2 - 1
+	}
+	w := tensor.New(k, n)
+	wd := w.Data()
+	for i := range wd {
+		wd[i] = r.Float32()*2 - 1
+	}
+	pb := tensor.PackB(w)
+	c := tensor.New(m, n)
+	b.SetBytes(int64(4 * m * k))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.ParallelGemmPacked(a, pb, c, 0)
+	}
+}
+
+func BenchmarkGemmI8RMBatch256(b *testing.B)     { benchmarkGemmI8RM(b) }
+func BenchmarkGemmParallelBatch256(b *testing.B) { benchmarkGemmParallel(b) }
+
 // benchmarkForwardHot is benchmarkForward on the arena-backed hot
 // path. With workers == 1 the steady-state pass must report 0
 // allocs/op — the tentpole's allocation contract.

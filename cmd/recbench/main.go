@@ -24,7 +24,10 @@
 // -fig10 reproduces the paper's Figure 10 axis on this host: an
 // RM-scale FC GEMM (512→256) swept over batch 1..256, reporting
 // GFLOP/s and, when -peak-gflops is given, percent of single-core
-// peak, for the active kernel tier plus the int8 compute path.
+// peak, for the active kernel tier plus the register-tiled int8
+// compute path on every tier this machine supports. With -workers N
+// (N > 1) it appends a parallel-vs-serial crossover sweep of the
+// cache-blocked ParallelGemmPacked against the serial packed GEMM.
 package main
 
 import (
@@ -60,6 +63,7 @@ func main() {
 		measure      = flag.Bool("measure", false, "run real forward passes instead of the analytic model")
 		fig10        = flag.Bool("fig10", false, "sweep an RM-scale FC GEMM over batch 1..256 and report GFLOP/s (Figure 10)")
 		peakGFLOPS   = flag.Float64("peak-gflops", 0, "with -fig10, single-core fp32 peak for the %%-of-peak column (0 = omit)")
+		fig10Workers = flag.Int("workers", 0, "with -fig10, also sweep the blocked parallel GEMM with this many workers against serial (0 = skip)")
 		measureIters = flag.Int("measure-iters", 200, "measured forward passes after warmup")
 		measureScale = flag.Int("measure-scale", 100, "embedding-table shrink factor for -measure")
 		intraOp      = flag.Int("intra-op", 1, "goroutines per measured forward pass (0 = GOMAXPROCS)")
@@ -79,7 +83,7 @@ func main() {
 	flag.Parse()
 
 	if *fig10 {
-		runFig10(*measureIters, *peakGFLOPS)
+		runFig10(*measureIters, *peakGFLOPS, *fig10Workers)
 		return
 	}
 
@@ -261,14 +265,29 @@ func runMeasure(cfg model.Config, batch, scale, iters, intraOp int, int8Tables, 
 // int8 compute path. With -peak-gflops the fp32 column is also
 // reported as percent of single-core peak (e.g. 67.2 for a 2.1 GHz
 // core with two 8-wide FMA ports).
-func runFig10(iters int, peak float64) {
+func runFig10(iters int, peak float64, workers int) {
 	const in, out = 512, 256
-	fmt.Printf("Figure 10 sweep: FC %d→%d, kernel=%s, iters=%d\n", in, out, tensor.KernelTier(), iters)
+	// The int8 column runs on every tier this host supports, so one
+	// invocation shows the register-tiled kernel and its pure-Go twin
+	// side by side (same integer math: the µs columns differ, the
+	// results are bit-identical).
+	tiers := []string{tensor.KernelTier()}
+	for _, t := range []string{tensor.KernelAVX2, tensor.KernelGo} {
+		if t != tiers[0] && tensor.KernelSupported(t) {
+			tiers = append(tiers, t)
+		}
+	}
+	active := tensor.KernelTier()
+	defer tensor.SetKernel(active)
+
+	fmt.Printf("Figure 10 sweep: FC %d→%d, fp32 kernel=%s, iters=%d\n", in, out, active, iters)
 	header := fmt.Sprintf("%7s %12s %14s", "batch", "fp32 µs/op", "fp32 GFLOP/s")
 	if peak > 0 {
 		header += fmt.Sprintf(" %8s", "% peak")
 	}
-	header += fmt.Sprintf(" %12s %14s", "int8 µs/op", "int8 GOP/s")
+	for _, tier := range tiers {
+		header += fmt.Sprintf(" %15s %12s", "int8["+tier+"] µs", "int8 GOP/s")
+	}
 	fmt.Println(header)
 	rng := stats.NewRNG(1)
 	fp32 := nn.NewFC("fig10", in, out, rng)
@@ -296,13 +315,64 @@ func runFig10(iters int, peak float64) {
 			return el / float64(iters) * 1e6, ops * float64(iters) / el / 1e9
 		}
 		fpUS, fpG := timeFC(fp32)
-		qUS, qG := timeFC(int8)
 		row := fmt.Sprintf("%7d %12.1f %14.1f", batch, fpUS, fpG)
 		if peak > 0 {
 			row += fmt.Sprintf(" %7.1f%%", 100*fpG/peak)
 		}
-		row += fmt.Sprintf(" %12.1f %14.1f", qUS, qG)
+		for _, tier := range tiers {
+			tensor.SetKernel(tier)
+			qUS, qG := timeFC(int8)
+			row += fmt.Sprintf(" %15.1f %12.1f", qUS, qG)
+		}
+		tensor.SetKernel(active)
 		fmt.Println(row)
+	}
+	if workers > 1 {
+		runFig10Parallel(iters, workers)
+	}
+}
+
+// runFig10Parallel is the parallel-vs-serial crossover sweep: the raw
+// cache-blocked ParallelGemmPacked against the serial packed GEMM on a
+// 512×512 B (big enough that parallelKC blocks the k walk), batch 16
+// up to 512. Speedup > 1 means the blocked fan-out wins; the crossover
+// batch is where the sweep first holds ≥ 1. On a single-vCPU host the
+// extra workers time-slice one core and speedup sits at ~1, which is
+// exactly what the column should show there.
+func runFig10Parallel(iters, workers int) {
+	const k, n = 512, 512
+	fmt.Printf("\nParallel crossover sweep: fp32 GEMM k=%d n=%d, blocked ParallelGemmPacked, kernel=%s, workers=%d (GOMAXPROCS=%d)\n",
+		k, n, tensor.KernelTier(), workers, runtime.GOMAXPROCS(0))
+	fmt.Printf("%7s %14s %14s %9s\n", "batch", "serial µs/op", "parallel µs/op", "speedup")
+	rng := stats.NewRNG(9)
+	w := tensor.New(k, n)
+	wd := w.Data()
+	for i := range wd {
+		wd[i] = rng.Float32()*2 - 1
+	}
+	pb := tensor.PackB(w)
+	for batch := 16; batch <= 512; batch *= 2 {
+		a := tensor.New(batch, k)
+		ad := a.Data()
+		for i := range ad {
+			ad[i] = rng.Float32()*2 - 1
+		}
+		c := tensor.New(batch, n)
+		timeGemm := func(wk int) float64 {
+			for i := 0; i < 2; i++ { // warmup
+				c.Fill(0)
+				tensor.ParallelGemmPacked(a, pb, c, wk)
+			}
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				c.Fill(0)
+				tensor.ParallelGemmPacked(a, pb, c, wk)
+			}
+			return time.Since(t0).Seconds() / float64(iters) * 1e6
+		}
+		serial := timeGemm(1)
+		par := timeGemm(workers)
+		fmt.Printf("%7d %14.1f %14.1f %8.2fx\n", batch, serial, par, serial/par)
 	}
 }
 

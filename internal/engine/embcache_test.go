@@ -192,6 +192,80 @@ func TestEmbCacheSwapRace(t *testing.T) {
 	wg.Wait()
 }
 
+// TestEmbCacheSwapRaceInt8MLP is the swap-hammer against an int8-MLP
+// model (quantized tables + int8-compute MLPs): a hot swap must also
+// drop each FC's cached QuantizedLinear/PackedBI8 (FC.InvalidatePacked
+// runs inside Swap via CopyWeightsFrom/Clone), or a stale weight pack
+// would keep serving the old model's MLP after the swap. References
+// are precomputed through ForwardEx — the same register-tiled int8
+// path the engine executes, bit-identical across workers and tiers —
+// so every hammered result must bit-match one of the two models.
+func TestEmbCacheSwapRaceInt8MLP(t *testing.T) {
+	cfg := model.RMC1Small().Scaled(500)
+	e := testEngine(t, cacheOpts(32))
+	mA := buildModel(t, cfg, 7).QuantizeTables().QuantizeMLPs()
+	mB := buildModel(t, cfg, 8).QuantizeTables().QuantizeMLPs()
+	if !mA.Int8MLPs() || !mB.Int8MLPs() {
+		t.Fatal("QuantizeMLPs did not enable int8 compute")
+	}
+	if err := e.Register("m", mA, ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := stats.NewRNG(25)
+	gens := tableGens(cfg, 1.1, rng)
+	const nReq = 16
+	reqs := make([]model.Request, nReq)
+	refA := make([][]float32, nReq)
+	refB := make([][]float32, nReq)
+	for k := range reqs {
+		reqs[k] = genRequest(cfg, 2, gens, rng)
+		// ForwardEx, not Forward: the reference must run the same int8
+		// MLP path the engine serves. Computed before the hammer starts,
+		// so these passes never race the engine's own cache fills.
+		refA[k] = append([]float32(nil), mA.ForwardEx(reqs[k], nil, 1).Data()...)
+		refB[k] = append([]float32(nil), mB.ForwardEx(reqs[k], nil, 1).Data()...)
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := stats.NewRNG(seed)
+			for i := 0; i < 200; i++ {
+				k := r.Intn(nReq)
+				got, err := e.Rank(ctx, "m", reqs[k])
+				if err != nil {
+					t.Errorf("rank: %v", err)
+					return
+				}
+				if !f32Equal(got, refA[k]) && !f32Equal(got, refB[k]) {
+					t.Errorf("req %d: int8 output matches neither model — stale weight pack or cache row served", k)
+					return
+				}
+			}
+		}(uint64(w) + 200)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			m := mB
+			if i%2 == 1 {
+				m = mA
+			}
+			if err := e.Swap("m", m); err != nil {
+				t.Errorf("swap: %v", err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+}
+
 // TestEmbCacheStatsAndMetrics checks the observability surface:
 // Stats.EmbCache carries per-table counters, the aggregate view merges
 // them, and /metrics exposes the five embcache families.

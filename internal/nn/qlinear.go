@@ -3,7 +3,6 @@ package nn
 import (
 	"fmt"
 	"math"
-	"runtime"
 
 	"recsys/internal/tensor"
 )
@@ -12,19 +11,22 @@ import (
 // matrix: per-output-channel symmetric int8 weights plus the
 // per-channel sums needed to correct for the activations' zero point.
 // Together with dynamic per-row uint8 activation quantization it turns
-// Y = X·W into an int8×int8→int32 GEMM (tensor.DotU8S8) followed by a
-// per-element affine rescale — the FBGEMM-style quantized FC path that
-// trades bounded accuracy loss for ~4× less weight traffic and wider
-// integer SIMD.
+// Y = X·W into an int8×int8→int32 GEMM followed by a per-element
+// affine rescale — the FBGEMM-style quantized FC path. Since the
+// register-tiled kernel landed, the int8 path wins on FLOPs as well as
+// footprint: the GEMM runs on tensor.GemmI8 over the packed tile
+// layout, with the column-major codes retained as the reference copy.
 //
 // Layout: codes is column-major — codes[j*In:(j+1)*In] holds output
-// channel j — so each output dot product streams both operands with
-// unit stride.
+// channel j; packed is the same matrix in tensor.PackedBI8 register-
+// tile order, built once at quantization time and dropped together
+// with this struct by FC.InvalidatePacked.
 type QuantizedLinear struct {
 	In, Out int
 	codes   []int8
 	scale   []float32 // per output channel: fp32 weight ≈ code · scale
 	colSum  []int32   // per output channel: Σ_i codes[j*In+i]
+	packed  *tensor.PackedBI8
 }
 
 // QuantizeLinear builds the int8 representation of a [In, Out] weight
@@ -68,40 +70,37 @@ func QuantizeLinear(w *tensor.Tensor) *QuantizedLinear {
 		}
 		q.colSum[j] = sum
 	}
+	q.packed = tensor.PackBI8(q.codes, in, out, q.scale, q.colSum)
 	return q
 }
 
-// quantizeRowU8 quantizes one activation row to uint8 with a dynamic
-// asymmetric range covering [min(0,lo), max(0,hi)] (zero always
-// representable, so ReLU outputs and the zero point stay exact-ish).
-// dst[i] = clamp(round(src[i]/scale) + zp); the caller reconstructs
-// x ≈ (dst[i] − zp)·scale. An all-zero row returns scale 1, zp 0.
-func quantizeRowU8(src []float32, dst []uint8) (scale float32, zp int32) {
-	var lo, hi float32
-	for _, v := range src {
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
+// quantizeRowI16 quantizes one activation row to uint8 codes (stored
+// widened to int16, the lane width the tiled kernel's VPMADDWD
+// broadcast consumes) with a dynamic asymmetric range covering
+// [min(0,lo), max(0,hi)] — zero always exactly representable, so ReLU
+// sparsity survives quantization. dst[i] = clamp(⌊src[i]/scale + zp +
+// ½⌋) (round-half-up, expressed as a single floor so the SIMD tier can
+// replay it bit-identically); the caller reconstructs x ≈ (dst[i] −
+// zp)·scale with |x̂−x| ≤ scale. An all-zero row returns scale 1,
+// zp 0. dst may be longer than src (the pack's KStride padding); pad
+// lanes are left untouched — they only ever multiply zero weight
+// codes.
+func quantizeRowI16(src []float32, dst []int16) (scale float32, zp int32) {
+	lo, hi := tensor.MinMaxF32(src)
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
 	}
 	scale = (hi - lo) / 255
 	if scale == 0 {
-		clear(dst)
+		clear(dst[:len(src)])
 		return 1, 0
 	}
 	inv := 1 / scale
 	zp = int32(math.Round(float64(-lo * inv)))
-	for i, v := range src {
-		c := int32(math.Round(float64(v*inv))) + zp
-		if c < 0 {
-			c = 0
-		} else if c > 255 {
-			c = 255
-		}
-		dst[i] = uint8(c)
-	}
+	tensor.QuantizeRowI16(dst, src, inv, float32(zp)+0.5)
 	return scale, zp
 }
 
@@ -128,72 +127,49 @@ func (f *FC) quantizedW() *QuantizedLinear {
 }
 
 // forwardInt8 computes Y ≈ X·W + b in int8: each activation row is
-// quantized to uint8 on the fly (dynamic range, asymmetric zero
-// point), each output element is one u8·s8 integer dot product, and
-// the zero-point correction zp·colSum restores the affine mapping:
+// quantized to uint8 codes on the fly (dynamic range, asymmetric zero
+// point, widened to int16 for the kernel), then one register-tiled
+// int8 GEMM (tensor.GemmI8) produces the whole output with the
+// zero-point correction folded into its epilogue:
 //
 //	Y[r][j] = (Σ_i xq[r][i]·wq[i][j] − zp_r·colSum_j)·(sx_r·sw_j) + b[j]
 //
 // Accuracy: per element the quantization error is bounded by
-// Σ_i (sx/2·|ŵ_ij| + |x_i|·sw_j/2) — asserted against the fp32 twin in
+// Σ_i (sx·|ŵ_ij| + |x_i|·sw_j/2) — asserted against the fp32 twin in
 // tests. The integer dots are exact on every kernel tier, so the int8
-// path itself is bit-identical across tiers.
+// path itself is bit-identical across tiers and row partitions.
 func (f *FC) forwardInt8(x *tensor.Tensor, a *tensor.Arena, workers int) *tensor.Tensor {
 	batch := x.Dim(0)
 	in, out := f.In, f.Out
 	// Every element of y is written below, so skip the arena zero fill.
 	y := allocDenseUninit(a, batch, out)
 	q := f.quantizedW()
-	var xq []uint8
+	pb := q.packed
+	ks := pb.KStride()
+	var xq []int16
+	var sx []float32
+	var zp []int32
 	if a != nil {
-		xq = a.AllocU8(batch * in)
+		xq = a.AllocI16(batch * ks)
+		sx = a.AllocUninit(batch).Data()
+		zp = a.AllocI32(batch)
 	} else {
-		xq = make([]uint8, batch*in)
+		xq = make([]int16, batch*ks)
+		sx = make([]float32, batch)
+		zp = make([]int32, batch)
 	}
 	xd := x.Data()
-	// The serial path calls int8Rows directly rather than through a
-	// closure: a closure passed to ParallelFor escapes to the heap, and
-	// the steady-state serving path must stay allocation-free.
-	if workers = clampWorkersRows(workers, batch, batch*in*out); workers <= 1 {
-		f.int8Rows(q, xd, xq, y.Data(), 0, batch)
-	} else {
-		yd := y.Data()
-		tensor.ParallelFor(batch, workers, func(lo, hi int) {
-			f.int8Rows(q, xd, xq, yd, lo, hi)
-		})
+	// The quantize pass is ~1% of the GEMM's work; it stays serial so
+	// the fan-out decision lives in one place (the GEMM row partition).
+	for r := 0; r < batch; r++ {
+		sx[r], zp[r] = quantizeRowI16(xd[r*in:(r+1)*in], xq[r*ks:r*ks+in])
 	}
+	yd := y.Data()
+	// ParallelGemmI8 runs small problems (and workers ≤ 1) serially
+	// without creating the fan-out closure, so the steady-state serving
+	// path stays allocation-free.
+	tensor.ParallelGemmI8(xq, sx, zp, pb, f.B, yd, batch, workers)
 	return y
-}
-
-// int8Rows runs the int8 forward for output rows [lo, hi). Rows are
-// independent, so any row partition produces bit-identical results.
-func (f *FC) int8Rows(q *QuantizedLinear, xd []float32, xq []uint8, yd []float32, lo, hi int) {
-	in, out := f.In, f.Out
-	for r := lo; r < hi; r++ {
-		qrow := xq[r*in : (r+1)*in]
-		sx, zp := quantizeRowU8(xd[r*in:(r+1)*in], qrow)
-		yrow := yd[r*out : (r+1)*out]
-		for j := 0; j < out; j++ {
-			dot := tensor.DotU8S8(qrow, q.codes[j*in:(j+1)*in])
-			yrow[j] = float32(dot-zp*q.colSum[j])*(sx*q.scale[j]) + f.B[j]
-		}
-	}
-}
-
-// clampWorkersRows mirrors tensor's GEMM worker clamp for the int8
-// path: 0 means GOMAXPROCS, never more workers than rows, and problems
-// under the fan-out threshold run serially.
-func clampWorkersRows(workers, rows, madds int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > rows {
-		workers = rows
-	}
-	if madds < 1<<17 {
-		return 1
-	}
-	return workers
 }
 
 // checkIn panics with the layer's shape expectation (shared by

@@ -56,23 +56,27 @@ func TestQuantizeLinearZeroChannel(t *testing.T) {
 	}
 }
 
-// TestQuantizeRowU8RoundTrip: every dequantized activation must land
+// TestQuantizeRowI16RoundTrip: every dequantized activation must land
 // within one step of the original (half a step from rounding, up to
-// half more when the clamp bites at the range edge), and zero must be
-// exactly representable so ReLU sparsity survives quantization.
-func TestQuantizeRowU8RoundTrip(t *testing.T) {
+// half more when the clamp bites at the range edge), codes must stay
+// in uint8 range, and zero must be exactly representable so ReLU
+// sparsity survives quantization.
+func TestQuantizeRowI16RoundTrip(t *testing.T) {
 	rng := stats.NewRNG(5)
 	src := make([]float32, 101)
 	for i := range src {
 		src[i] = (rng.Float32()*2 - 1) * 3
 	}
 	src[7] = 0 // zero must reconstruct exactly
-	dst := make([]uint8, len(src))
-	sx, zp := quantizeRowU8(src, dst)
+	dst := make([]int16, len(src))
+	sx, zp := quantizeRowI16(src, dst)
 	if sx <= 0 {
 		t.Fatalf("scale %g", sx)
 	}
 	for i, v := range src {
+		if dst[i] < 0 || dst[i] > 255 {
+			t.Fatalf("elem %d: code %d outside uint8 range", i, dst[i])
+		}
 		back := float32(int32(dst[i])-zp) * sx
 		if d := math.Abs(float64(back - v)); d > float64(sx)*1.0001 {
 			t.Fatalf("elem %d: |%g - %g| = %g > step %g", i, back, v, d, sx)
@@ -83,8 +87,8 @@ func TestQuantizeRowU8RoundTrip(t *testing.T) {
 	}
 	// All-zero row: scale 1, zp 0, all codes 0.
 	zeros := make([]float32, 8)
-	qz := make([]uint8, 8)
-	sx, zp = quantizeRowU8(zeros, qz)
+	qz := make([]int16, 8)
+	sx, zp = quantizeRowI16(zeros, qz)
 	if sx != 1 || zp != 0 {
 		t.Fatalf("zero row: scale %g zp %d", sx, zp)
 	}
@@ -92,6 +96,13 @@ func TestQuantizeRowU8RoundTrip(t *testing.T) {
 		if c != 0 {
 			t.Fatal("zero row produced nonzero code")
 		}
+	}
+	// A strictly-positive row must still cover zero (lo clamps to 0).
+	pos := []float32{1, 2, 3, 4}
+	qp := make([]int16, 4)
+	_, zp = quantizeRowI16(pos, qp)
+	if zp != 0 {
+		t.Fatalf("positive row zp = %d, want 0", zp)
 	}
 }
 
@@ -128,8 +139,8 @@ func TestFCInt8AccuracyBound(t *testing.T) {
 		wantD, gotD := want.Data(), got.Data()
 		for r := 0; r < batch; r++ {
 			row := xd[r*in : (r+1)*in]
-			scratch := make([]uint8, in)
-			sx, _ := quantizeRowU8(row, scratch)
+			scratch := make([]int16, in)
+			sx, _ := quantizeRowI16(row, scratch)
 			for j := 0; j < out; j++ {
 				bound := 0.0
 				sw := float64(q.scale[j])
@@ -182,12 +193,20 @@ func TestInvalidatePackedDropsQuant(t *testing.T) {
 		xd[i] = rng.Float32()
 	}
 	before := append([]float32(nil), fc.ForwardEx(x, nil, 1).Data()...)
+	qBefore := fc.quantizedW()
 	w := fc.W.Data()
 	for i := range w {
 		w[i] *= 3
 	}
 	fc.InvalidatePacked()
 	after := fc.ForwardEx(x, nil, 1).Data()
+	qAfter := fc.quantizedW()
+	if qBefore == qAfter {
+		t.Fatal("QuantizedLinear not rebuilt after InvalidatePacked")
+	}
+	if qBefore.packed == qAfter.packed {
+		t.Fatal("PackedBI8 not rebuilt after InvalidatePacked")
+	}
 	same := true
 	for i := range before {
 		if before[i] != after[i] {

@@ -1,0 +1,305 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 register-tiled int8 GEMM micro-kernels over the PackedBI8 tile
+// layout (pack_i8.go): one 32-byte quad-row per k-group holds 8 output
+// columns × 4 k codes, widened to i16 by VPMOVSXBW so VPMADDWD can
+// consume uint8-range activation codes without the i16 saturation
+// hazard of VPMADDUBSW (weights |w| ≤ 127, activations ≤ 255 →
+// products ≤ 32385, pair sums ≤ 64770, well inside i16·i16→i32).
+//
+// All integer arithmetic is exact, so any accumulation shape gives the
+// same bits as the pure-Go tier; the float epilogue below performs the
+// identical operation sequence as gemmI8Tile (convert, scale product,
+// multiply, bias add — no FMA), keeping the int8 tiers bit-identical.
+
+// permI8idx reorders the VPHADDD lane interleave [c0 c1 c4 c5 | c2 c3
+// c6 c7] back to ascending columns.
+DATA permI8idx<>+0(SB)/4, $0
+DATA permI8idx<>+4(SB)/4, $1
+DATA permI8idx<>+8(SB)/4, $4
+DATA permI8idx<>+12(SB)/4, $5
+DATA permI8idx<>+16(SB)/4, $2
+DATA permI8idx<>+20(SB)/4, $3
+DATA permI8idx<>+24(SB)/4, $6
+DATA permI8idx<>+28(SB)/4, $7
+GLOBL permI8idx<>(SB), RODATA|NOPTR, $32
+
+// func gemmI8Kern4x8(a *int16, astride int, tile *int8, y *float32, ldy int, kq int, sx *float32, zp *int32, sw *float32, colSum *int32, bias *float32)
+//
+// 4-row × 8-column micro-kernel: a full register tile of int32
+// accumulators (two ymm per row — pairwise partial sums per column)
+// over one packed column tile, then an in-register affine epilogue
+// that writes the final float32 outputs:
+//
+//	y[r][j0+c] = float32(dot − zp[r]·colSum[c]) · (sx[r]·sw[c]) + bias[c]
+//
+// a points at the first activation row (stride astride i16 elements),
+// y at Y[row0][j0] (stride ldy floats). sx/zp point at the 4 per-row
+// quantization params, sw/colSum/bias at the 8 per-column params.
+// Folding the epilogue into the kernel means no int32 scratch tile
+// ever exists in memory.
+TEXT ·gemmI8Kern4x8(SB), NOSPLIT, $0-88
+	MOVQ a+0(FP), DI
+	MOVQ astride+8(FP), SI
+	MOVQ tile+16(FP), DX
+	MOVQ kq+40(FP), CX
+
+	SHLQ $1, SI          // astride in bytes
+	LEAQ (SI)(SI*2), R10 // 3·astride bytes
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+
+loop:
+	VPMOVSXBW (DX), Y8    // columns 0–3, 4 k codes each, widened s8→i16
+	VPMOVSXBW 16(DX), Y9  // columns 4–7
+
+	VPBROADCASTQ (DI), Y10 // row 0: 4 i16 activation codes → all quads
+	VPMADDWD Y8, Y10, Y11
+	VPADDD Y11, Y0, Y0
+	VPMADDWD Y9, Y10, Y11
+	VPADDD Y11, Y1, Y1
+
+	VPBROADCASTQ (DI)(SI*1), Y10 // row 1
+	VPMADDWD Y8, Y10, Y11
+	VPADDD Y11, Y2, Y2
+	VPMADDWD Y9, Y10, Y11
+	VPADDD Y11, Y3, Y3
+
+	VPBROADCASTQ (DI)(SI*2), Y10 // row 2
+	VPMADDWD Y8, Y10, Y11
+	VPADDD Y11, Y4, Y4
+	VPMADDWD Y9, Y10, Y11
+	VPADDD Y11, Y5, Y5
+
+	VPBROADCASTQ (DI)(R10*1), Y10 // row 3
+	VPMADDWD Y8, Y10, Y11
+	VPADDD Y11, Y6, Y6
+	VPMADDWD Y9, Y10, Y11
+	VPADDD Y11, Y7, Y7
+
+	ADDQ $32, DX
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  loop
+
+	// Affine epilogue. Per-column vectors load once; per row: pairwise
+	// horizontal add + lane fix → 8 exact dots, subtract zp·colSum,
+	// convert, multiply by (sx·sw), add bias, store.
+	MOVQ y+24(FP), R8
+	MOVQ ldy+32(FP), R9
+	SHLQ $2, R9          // ldy in bytes
+	LEAQ (R9)(R9*2), R12 // 3·ldy bytes
+	MOVQ sx+48(FP), R11
+	MOVQ zp+56(FP), R13
+	MOVQ sw+64(FP), R14
+	MOVQ colSum+72(FP), BX
+	MOVQ bias+80(FP), AX
+
+	VMOVDQU (BX), Y12           // colSum[j0:j0+8]
+	VMOVUPS (R14), Y13          // sw[j0:j0+8]
+	VMOVUPS (AX), Y14           // bias[j0:j0+8]
+	VMOVDQU permI8idx<>(SB), Y15
+
+	// row 0
+	VPHADDD      Y1, Y0, Y11 // [c0 c1 c4 c5 | c2 c3 c6 c7]
+	VPERMD       Y11, Y15, Y11
+	VPBROADCASTD (R13), Y10
+	VPMULLD      Y12, Y10, Y10
+	VPSUBD       Y10, Y11, Y11
+	VCVTDQ2PS    Y11, Y11
+	VBROADCASTSS (R11), Y10
+	VMULPS       Y13, Y10, Y10
+	VMULPS       Y10, Y11, Y11
+	VADDPS       Y14, Y11, Y11
+	VMOVUPS      Y11, (R8)
+
+	// row 1
+	VPHADDD      Y3, Y2, Y11
+	VPERMD       Y11, Y15, Y11
+	VPBROADCASTD 4(R13), Y10
+	VPMULLD      Y12, Y10, Y10
+	VPSUBD       Y10, Y11, Y11
+	VCVTDQ2PS    Y11, Y11
+	VBROADCASTSS 4(R11), Y10
+	VMULPS       Y13, Y10, Y10
+	VMULPS       Y10, Y11, Y11
+	VADDPS       Y14, Y11, Y11
+	VMOVUPS      Y11, (R8)(R9*1)
+
+	// row 2
+	VPHADDD      Y5, Y4, Y11
+	VPERMD       Y11, Y15, Y11
+	VPBROADCASTD 8(R13), Y10
+	VPMULLD      Y12, Y10, Y10
+	VPSUBD       Y10, Y11, Y11
+	VCVTDQ2PS    Y11, Y11
+	VBROADCASTSS 8(R11), Y10
+	VMULPS       Y13, Y10, Y10
+	VMULPS       Y10, Y11, Y11
+	VADDPS       Y14, Y11, Y11
+	VMOVUPS      Y11, (R8)(R9*2)
+
+	// row 3
+	VPHADDD      Y7, Y6, Y11
+	VPERMD       Y11, Y15, Y11
+	VPBROADCASTD 12(R13), Y10
+	VPMULLD      Y12, Y10, Y10
+	VPSUBD       Y10, Y11, Y11
+	VCVTDQ2PS    Y11, Y11
+	VBROADCASTSS 12(R11), Y10
+	VMULPS       Y13, Y10, Y10
+	VMULPS       Y10, Y11, Y11
+	VADDPS       Y14, Y11, Y11
+	VMOVUPS      Y11, (R8)(R12*1)
+
+	VZEROUPPER
+	RET
+
+// func gemmI8Kern1x8(a *int16, tile *int8, y *float32, kq int, sx float32, zp int32, sw *float32, colSum *int32, bias *float32)
+//
+// Single-row edge kernel for the batch%4 remainder rows: one row of
+// gemmI8Kern4x8 (same pairwise accumulator structure, same epilogue
+// sequence). Integer dots are exact, so remainder rows match the 4×8
+// tile bit-for-bit no matter where shard boundaries fall.
+TEXT ·gemmI8Kern1x8(SB), NOSPLIT, $0-64
+	MOVQ a+0(FP), DI
+	MOVQ tile+8(FP), DX
+	MOVQ kq+24(FP), CX
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+
+loop:
+	VPMOVSXBW    (DX), Y8
+	VPMOVSXBW    16(DX), Y9
+	VPBROADCASTQ (DI), Y10
+	VPMADDWD     Y8, Y10, Y11
+	VPADDD       Y11, Y0, Y0
+	VPMADDWD     Y9, Y10, Y11
+	VPADDD       Y11, Y1, Y1
+	ADDQ         $32, DX
+	ADDQ         $8, DI
+	DECQ         CX
+	JNZ          loop
+
+	MOVQ y+16(FP), R8
+	MOVQ sw+40(FP), R14
+	MOVQ colSum+48(FP), BX
+	MOVQ bias+56(FP), AX
+
+	VMOVDQU      (BX), Y12
+	VMOVUPS      (R14), Y13
+	VMOVUPS      (AX), Y14
+	VMOVDQU      permI8idx<>(SB), Y15
+
+	VPHADDD      Y1, Y0, Y11
+	VPERMD       Y11, Y15, Y11
+	MOVL         zp+36(FP), DX
+	MOVQ         DX, X10
+	VPBROADCASTD X10, Y10
+	VPMULLD      Y12, Y10, Y10
+	VPSUBD       Y10, Y11, Y11
+	VCVTDQ2PS    Y11, Y11
+	VBROADCASTSS sx+32(FP), Y10
+	VMULPS       Y13, Y10, Y10
+	VMULPS       Y10, Y11, Y11
+	VADDPS       Y14, Y11, Y11
+	VMOVUPS      Y11, (R8)
+
+	VZEROUPPER
+	RET
+
+// func minMaxF32(s *float32, n int) (lo, hi float32)
+//
+// 8-lane min/max scan; n must be a positive multiple of 8. min/max are
+// exact comparisons (no rounding), so the result matches the scalar
+// loop bit-for-bit for finite inputs; only a −0.0 vs +0.0 pick can
+// differ, which no downstream arithmetic observes.
+TEXT ·minMaxF32(SB), NOSPLIT, $0-24
+	MOVQ s+0(FP), DI
+	MOVQ n+8(FP), CX
+
+	VMOVUPS (DI), Y0 // running min
+	VMOVUPS (DI), Y1 // running max
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JZ      reduce
+
+loop:
+	VMOVUPS (DI), Y2
+	VMINPS  Y2, Y0, Y0
+	VMAXPS  Y2, Y1, Y1
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JNZ     loop
+
+reduce:
+	VEXTRACTF128 $1, Y0, X2
+	VMINPS       X2, X0, X0
+	VPSHUFD      $0x0E, X0, X2
+	VMINPS       X2, X0, X0
+	VPSHUFD      $0x01, X0, X2
+	VMINPS       X2, X0, X0
+	MOVSS        X0, lo+16(FP)
+
+	VEXTRACTF128 $1, Y1, X2
+	VMAXPS       X2, X1, X1
+	VPSHUFD      $0x0E, X1, X2
+	VMAXPS       X2, X1, X1
+	VPSHUFD      $0x01, X1, X2
+	VMAXPS       X2, X1, X1
+	MOVSS        X1, hi+20(FP)
+
+	VZEROUPPER
+	RET
+
+// func quantizeI16(dst *int16, src *float32, n int, inv, zpf float32)
+//
+// Vector body of QuantizeRowI16; n must be a multiple of 16. Exactly
+// the scalar sequence per element — f32 multiply, f32 add, floor
+// (VROUNDPS $1, exact), truncating convert, integer clamp to [0, 255]
+// — then a saturating i32→i16 pack (never saturates after the clamp)
+// with VPERMQ fixing the lane interleave.
+TEXT ·quantizeI16(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VBROADCASTSS inv+24(FP), Y4
+	VBROADCASTSS zpf+28(FP), Y5
+	VPXOR        Y6, Y6, Y6  // 0
+	VPCMPEQD     Y7, Y7, Y7
+	VPSRLD       $24, Y7, Y7 // 255
+	SHRQ         $4, CX
+
+loop:
+	VMULPS      (SI), Y4, Y0
+	VADDPS      Y5, Y0, Y0
+	VROUNDPS    $1, Y0, Y0
+	VCVTTPS2DQ  Y0, Y0
+	VMULPS      32(SI), Y4, Y1
+	VADDPS      Y5, Y1, Y1
+	VROUNDPS    $1, Y1, Y1
+	VCVTTPS2DQ  Y1, Y1
+	VPMAXSD     Y6, Y0, Y0
+	VPMINSD     Y7, Y0, Y0
+	VPMAXSD     Y6, Y1, Y1
+	VPMINSD     Y7, Y1, Y1
+	VPACKSSDW   Y1, Y0, Y0
+	VPERMQ      $0xD8, Y0, Y0
+	VMOVDQU     Y0, (DI)
+	ADDQ        $64, SI
+	ADDQ        $32, DI
+	DECQ        CX
+	JNZ         loop
+
+	VZEROUPPER
+	RET

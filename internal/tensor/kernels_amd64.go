@@ -24,6 +24,18 @@ func dequantAccumI8(dst *float32, codes *int8, n int, scale, offset float32)
 //go:noescape
 func dotU8S8(x *uint8, w *int8, n int) int32
 
+//go:noescape
+func gemmI8Kern4x8(a *int16, astride int, tile *int8, y *float32, ldy int, kq int, sx *float32, zp *int32, sw *float32, colSum *int32, bias *float32)
+
+//go:noescape
+func gemmI8Kern1x8(a *int16, tile *int8, y *float32, kq int, sx float32, zp int32, sw *float32, colSum *int32, bias *float32)
+
+//go:noescape
+func minMaxF32(s *float32, n int) (lo, hi float32)
+
+//go:noescape
+func quantizeI16(dst *int16, src *float32, n int, inv, zpf float32)
+
 // gemmPackedRowsAVX2 is the assembly-tier twin of gemmPackedRowsGo:
 // the same k-panel blocking and row ownership, with full 8-row ×
 // 8-column register tiles dispatched to gemmKernel8x8, remainder rows
@@ -33,9 +45,9 @@ func dotU8S8(x *uint8, w *int8, n int) int32
 // gemmKernel8x8 — so a row's bits do not depend on where shard
 // boundaries fall, and the only numeric deviation from the Go tier is
 // FMA fusion, bounded by the FloatsClose contract.
-func gemmPackedRowsAVX2(ad []float32, pb *PackedB, cd []float32, lo, hi, k, n int) {
-	for p0 := 0; p0 < k; p0 += blockSize {
-		pMax := min(p0+blockSize, k)
+func gemmPackedRowsAVX2(ad []float32, pb *PackedB, cd []float32, lo, hi, pLo, pHi, k, n int) {
+	for p0 := pLo; p0 < pHi; p0 += blockSize {
+		pMax := min(p0+blockSize, pHi)
 		kc := pMax - p0
 		panel := pb.data[p0*n : p0*n+kc*n]
 		nFull := n &^ (nr - 1)
@@ -56,6 +68,58 @@ func gemmPackedRowsAVX2(ad []float32, pb *PackedB, cd []float32, lo, hi, k, n in
 			}
 			if nFull < n {
 				gemmPackedEdge(ad[i*k+p0:i*k+pMax], panel, cd[i*n:(i+1)*n], kc, nFull, n)
+			}
+		}
+	}
+}
+
+// gemmI8RowsAVX2 is the assembly-tier twin of gemmI8RowsGo: the same
+// (mc=4, nc=L2) blocking nest, with full column tiles dispatched to
+// the 4×8 micro-kernel, remainder rows to the 1×8 kernel, and the
+// zero-padded tail tile (n%8) to the shared Go micro-kernel. Integer
+// dots are exact and the asm epilogue replays gemmI8Tile's float
+// sequence, so all paths agree bit-for-bit with the Go tier.
+func gemmI8RowsAVX2(x []int16, sx []float32, zp []int32, pb *PackedBI8, bias []float32, y []float32, lo, hi int) {
+	n, kq, ks := pb.N, pb.kq, pb.KStride()
+	tiles := pb.Tiles()
+	full := n / nrI8
+	tileLen := kq * quadK * nrI8
+	group := i8TileGroup(pb)
+	for t0 := 0; t0 < tiles; t0 += group {
+		tMax := min(t0+group, tiles)
+		r := lo
+		for ; r+mrI8 <= hi; r += mrI8 {
+			for t := t0; t < tMax; t++ {
+				j0 := t * nrI8
+				if t < full {
+					biasp := &zeroBiasI8[0]
+					if bias != nil {
+						biasp = &bias[j0]
+					}
+					gemmI8Kern4x8(&x[r*ks], ks, &pb.codes[t*tileLen], &y[r*n+j0], n, kq,
+						&sx[r], &zp[r], &pb.Scale[j0], &pb.ColSum[j0], biasp)
+				} else {
+					for rr := r; rr < r+mrI8; rr++ {
+						gemmI8Tile(x[rr*ks:(rr+1)*ks], pb.codes[t*tileLen:], y[rr*n:(rr+1)*n],
+							kq, j0, n-j0, sx[rr], zp[rr], pb, bias)
+					}
+				}
+			}
+		}
+		for ; r < hi; r++ {
+			for t := t0; t < tMax; t++ {
+				j0 := t * nrI8
+				if t < full {
+					biasp := &zeroBiasI8[0]
+					if bias != nil {
+						biasp = &bias[j0]
+					}
+					gemmI8Kern1x8(&x[r*ks], &pb.codes[t*tileLen], &y[r*n+j0], kq,
+						sx[r], zp[r], &pb.Scale[j0], &pb.ColSum[j0], biasp)
+				} else {
+					gemmI8Tile(x[r*ks:(r+1)*ks], pb.codes[t*tileLen:], y[r*n:(r+1)*n],
+						kq, j0, n-j0, sx[r], zp[r], pb, bias)
+				}
 			}
 		}
 	}

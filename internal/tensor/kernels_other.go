@@ -6,7 +6,7 @@ package tensor
 // returns false and SetKernel refuses the tier), so none of these can
 // be reached; they exist only to satisfy the dispatch call sites.
 
-func gemmPackedRowsAVX2(ad []float32, pb *PackedB, cd []float32, lo, hi, k, n int) {
+func gemmPackedRowsAVX2(ad []float32, pb *PackedB, cd []float32, lo, hi, pLo, pHi, k, n int) {
 	panic("tensor: AVX2 kernel tier selected on a non-amd64 build")
 }
 
@@ -23,5 +23,17 @@ func dequantAccumI8(dst *float32, codes *int8, n int, scale, offset float32) {
 }
 
 func dotU8S8(x *uint8, w *int8, n int) int32 {
+	panic("tensor: AVX2 kernel tier selected on a non-amd64 build")
+}
+
+func gemmI8RowsAVX2(x []int16, sx []float32, zp []int32, pb *PackedBI8, bias []float32, y []float32, lo, hi int) {
+	panic("tensor: AVX2 kernel tier selected on a non-amd64 build")
+}
+
+func minMaxF32(s *float32, n int) (lo, hi float32) {
+	panic("tensor: AVX2 kernel tier selected on a non-amd64 build")
+}
+
+func quantizeI16(dst *int16, src *float32, n int, inv, zpf float32) {
 	panic("tensor: AVX2 kernel tier selected on a non-amd64 build")
 }

@@ -82,18 +82,28 @@ func GemmPacked(a *Tensor, pb *PackedB, c *Tensor) {
 // gemmPackedRows runs the packed kernel over output rows [lo, hi),
 // dispatching to the tier selected at init (or via SetKernel).
 func gemmPackedRows(ad []float32, pb *PackedB, cd []float32, lo, hi, k, n int) {
+	gemmPackedRowsBlock(ad, pb, cd, lo, hi, 0, k, k, n)
+}
+
+// gemmPackedRowsBlock is gemmPackedRows restricted to the k-panel
+// range [pLo, pHi) — the kc dimension of the cache blocking. pLo/pHi
+// must be blockSize-aligned (pHi may be k). Accumulating a row block
+// by block in ascending p is the same per-row operation order as one
+// full-range pass, so blocked and unblocked calls are bit-identical on
+// every tier.
+func gemmPackedRowsBlock(ad []float32, pb *PackedB, cd []float32, lo, hi, pLo, pHi, k, n int) {
 	if useAVX2 {
-		gemmPackedRowsAVX2(ad, pb, cd, lo, hi, k, n)
+		gemmPackedRowsAVX2(ad, pb, cd, lo, hi, pLo, pHi, k, n)
 		return
 	}
-	gemmPackedRowsGo(ad, pb, cd, lo, hi, k, n)
+	gemmPackedRowsGo(ad, pb, cd, lo, hi, pLo, pHi, k, n)
 }
 
 // gemmPackedRowsGo is the portable reference kernel: 8 scalar
 // accumulators per column tile, bit-identical to Gemm.
-func gemmPackedRowsGo(ad []float32, pb *PackedB, cd []float32, lo, hi, k, n int) {
-	for p0 := 0; p0 < k; p0 += blockSize {
-		pMax := min(p0+blockSize, k)
+func gemmPackedRowsGo(ad []float32, pb *PackedB, cd []float32, lo, hi, pLo, pHi, k, n int) {
+	for p0 := pLo; p0 < pHi; p0 += blockSize {
+		pMax := min(p0+blockSize, pHi)
 		kc := pMax - p0
 		panel := pb.data[p0*n : p0*n+kc*n]
 		for i := lo; i < hi; i++ {
@@ -152,15 +162,40 @@ func gemmPackedEdge(arow, panel, crow []float32, kc, j0, n int) {
 	}
 }
 
+// l2PanelBytes bounds the packed-B bytes one parallel kc block
+// streams: the block's panels stay L2-resident while every row shard
+// sweeps them, instead of each worker streaming the whole of B from
+// memory per pass (which left the row-sharded kernel memory-bound at
+// large batch).
+const l2PanelBytes = 1 << 19
+
+// parallelKC returns the kc block height (in B rows) for the blocked
+// parallel GEMM: the largest blockSize multiple whose n-wide panel
+// slab fits the l2PanelBytes budget, never below one panel.
+func parallelKC(n int) int {
+	rows := l2PanelBytes / (4 * n)
+	rows &^= blockSize - 1
+	if rows < blockSize {
+		rows = blockSize
+	}
+	return rows
+}
+
 // ParallelGemmPacked computes C = A·B + C against a pre-packed B,
 // splitting A's rows across workers goroutines (0 = GOMAXPROCS).
 // Small problems (under minParallelMAdds multiply-adds) run serially.
-// The row partition assigns each output row to exactly one worker and
-// leaves the per-row accumulation order unchanged, so results match
-// the serial GemmPacked exactly on every tier (bit-identical to Gemm
-// on the pure-Go tier). Fan-out goes through ParallelFor, so a panic
-// in any shard surfaces on the calling goroutine instead of killing
-// the process.
+//
+// The parallel pass is cache-blocked: B's k-panels are walked in kc
+// blocks of ≤ l2PanelBytes (an (mc, kc) loop nest with mc the row
+// shard), and all workers sweep the same L2-resident block before the
+// next one is touched, so B traffic from memory is paid once per pass
+// rather than once per worker. ParallelFor's deterministic partition
+// gives each output row to the same worker in every block, and the
+// per-row accumulation order (panels ascending in p) is unchanged, so
+// results match the serial GemmPacked exactly on every tier
+// (bit-identical to Gemm on the pure-Go tier). Fan-out goes through
+// ParallelFor, so a panic in any shard surfaces on the calling
+// goroutine instead of killing the process.
 func ParallelGemmPacked(a *Tensor, pb *PackedB, c *Tensor, workers int) {
 	m, k, n := checkGemmPacked(a, pb, c)
 	workers = clampWorkers(workers, m, k, n)
@@ -168,9 +203,13 @@ func ParallelGemmPacked(a *Tensor, pb *PackedB, c *Tensor, workers int) {
 		gemmPackedRows(a.data, pb, c.data, 0, m, k, n)
 		return
 	}
-	ParallelFor(m, workers, func(lo, hi int) {
-		gemmPackedRows(a.data, pb, c.data, lo, hi, k, n)
-	})
+	kc := parallelKC(n)
+	for p0 := 0; p0 < k; p0 += kc {
+		pHi := min(p0+kc, k)
+		ParallelFor(m, workers, func(lo, hi int) {
+			gemmPackedRowsBlock(a.data, pb, c.data, lo, hi, p0, pHi, k, n)
+		})
+	}
 }
 
 // clampWorkers resolves a worker count for an m-row, m×k×n-work

@@ -1,0 +1,321 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Register-tiled int8 GEMM over a packed weight layout — the
+// FBGEMM-style kernel tier that makes int8 compute *faster* than the
+// fp32 assembly GEMM instead of merely smaller (Park et al., "Deep
+// Learning Inference in Facebook Data Centers"). The fp32 packed GEMM
+// (pack.go) amortizes weight reorganization across requests; this file
+// does the same for the quantized path, replacing the one-dot-per-
+// output-element VPMADDWD loop with an mrI8×nrI8 int32 accumulator
+// tile per pass.
+//
+// Numerics: every product and sum on the integer side is exact, and
+// the float epilogue applies one fixed operation sequence per output
+// element, so results are bit-identical across kernel tiers, row
+// partitions, and micro-tile shapes — integer addition is associative,
+// unlike float accumulation, which is why the int8 tiers need no
+// FloatsClose epsilon.
+
+const (
+	// nrI8 is the column-tile width: 8 output channels per micro-kernel
+	// pass, matching one ymm of int32 accumulators.
+	nrI8 = 8
+	// mrI8 is the row-tile height of the AVX2 micro-kernel: 4 rows ×
+	// (2 accumulators each) fills 8 of the 16 ymm registers, leaving
+	// room for the two widened B tile halves and scratch.
+	mrI8 = 4
+	// quadK is the k-grouping of the packed layout: VPMADDWD consumes
+	// pairs of i16 products and the widened broadcast covers 4
+	// activations, so B codes are stored 4 k-values at a time.
+	quadK = 4
+	// i8TileGroupBytes bounds the packed-B bytes a single column-tile
+	// group streams per row block — the nc dimension of the (mc, nc)
+	// cache blocking. One group of tiles stays L2-resident while the
+	// row loop sweeps it; RM-scale layers fit a single group.
+	i8TileGroupBytes = 1 << 19
+)
+
+// PackedBI8 holds an In×Out int8 weight matrix in the layout the
+// register-tiled int8 kernel consumes, together with the per-output-
+// channel quantization metadata the epilogue needs:
+//
+//   - codes: column panels nrI8 wide; within a panel, k runs in groups
+//     of quadK — byte [t*kq*32 + q*32 + c*4 + i] is the weight code for
+//     output channel t*8+c at depth q*4+i. Both k and n are zero-padded
+//     to their tile multiples (zero codes contribute exactly 0 to every
+//     dot, so padding never changes a result).
+//   - Scale[j]: fp32 weight ≈ code · Scale[j] for output channel j.
+//   - ColSum[j]: Σᵢ codes[i][j], the zero-point correction row — the
+//     activations' asymmetric zero point multiplies this exactly once
+//     per output element.
+type PackedBI8 struct {
+	K, N int
+	// kq is the padded quad count: ceil(K/4). Activation rows handed to
+	// GemmI8 use a row stride of KStride() = kq*4 i16 codes; the pad
+	// lanes multiply zero weight codes, so their contents are free.
+	kq     int
+	codes  []int8
+	Scale  []float32
+	ColSum []int32
+}
+
+// KStride returns the activation row stride (in int16 code elements)
+// the packed layout expects: K rounded up to a multiple of quadK. Pad
+// elements beyond K may hold anything — they meet zero weight codes.
+func (pb *PackedBI8) KStride() int { return pb.kq * quadK }
+
+// Tiles returns the number of nrI8-wide column tiles (including the
+// zero-padded tail tile, if any).
+func (pb *PackedBI8) Tiles() int { return (pb.N + nrI8 - 1) / nrI8 }
+
+// PackBI8 packs column-major int8 weight codes (channel j occupies
+// codes[j*k:(j+1)*k]) into the register-tile layout. scale and colSum
+// are the per-output-channel quantization scale and exact code sums;
+// both must have length n. The slices are copied, so callers may reuse
+// their buffers.
+func PackBI8(codes []int8, k, n int, scale []float32, colSum []int32) *PackedBI8 {
+	if k < 0 || n <= 0 {
+		panic(fmt.Sprintf("tensor: PackBI8 shape %dx%d", k, n))
+	}
+	if len(codes) < k*n {
+		panic(fmt.Sprintf("tensor: PackBI8 codes length %d, want %d", len(codes), k*n))
+	}
+	if len(scale) != n || len(colSum) != n {
+		panic(fmt.Sprintf("tensor: PackBI8 metadata lengths %d/%d, want %d", len(scale), len(colSum), n))
+	}
+	kq := (k + quadK - 1) / quadK
+	if kq == 0 {
+		// Keep at least one (all-zero) quad so the asm kernels' k loop
+		// is always entered a well-defined number of times; KStride is
+		// therefore ≥ 4 even for a degenerate K=0 pack.
+		kq = 1
+	}
+	tiles := (n + nrI8 - 1) / nrI8
+	pb := &PackedBI8{
+		K: k, N: n, kq: kq,
+		// make() zero-fills, which is load-bearing: pad lanes (k beyond
+		// K, columns beyond N) must hold zero codes.
+		codes:  make([]int8, tiles*kq*quadK*nrI8),
+		Scale:  append([]float32(nil), scale...),
+		ColSum: append([]int32(nil), colSum...),
+	}
+	for j := 0; j < n; j++ {
+		col := codes[j*k : (j+1)*k]
+		t, c := j/nrI8, j%nrI8
+		tile := pb.codes[t*kq*quadK*nrI8:]
+		for i, code := range col {
+			q, kk := i/quadK, i%quadK
+			tile[q*quadK*nrI8+c*quadK+kk] = code
+		}
+	}
+	return pb
+}
+
+// zeroBiasI8 is the shared all-zero bias row the drivers substitute
+// when the caller passes a nil bias: the epilogue always performs the
+// bias add (adding +0.0 also normalizes a −0.0 product), so nil-bias
+// and zero-bias results are bit-identical.
+var zeroBiasI8 [nrI8]float32
+
+// checkGemmI8 validates the GemmI8 operand shapes.
+func checkGemmI8(x []int16, sx []float32, zp []int32, pb *PackedBI8, bias []float32, y []float32, batch int) {
+	if batch < 0 {
+		panic(fmt.Sprintf("tensor: GemmI8 negative batch %d", batch))
+	}
+	if len(x) < batch*pb.KStride() {
+		panic(fmt.Sprintf("tensor: GemmI8 x length %d, want >= %d", len(x), batch*pb.KStride()))
+	}
+	if len(sx) < batch || len(zp) < batch {
+		panic(fmt.Sprintf("tensor: GemmI8 row params %d/%d, want >= %d", len(sx), len(zp), batch))
+	}
+	if bias != nil && len(bias) < pb.N {
+		panic(fmt.Sprintf("tensor: GemmI8 bias length %d, want >= %d", len(bias), pb.N))
+	}
+	if len(y) < batch*pb.N {
+		panic(fmt.Sprintf("tensor: GemmI8 y length %d, want >= %d", len(y), batch*pb.N))
+	}
+}
+
+// GemmI8 computes the quantized affine map
+//
+//	Y[r][j] = float32(Σᵢ x[r][i]·w[i][j] − zp[r]·ColSum[j]) · (sx[r]·Scale[j]) + bias[j]
+//
+// over a register-tile-packed int8 B. x holds dynamic-quantized
+// activation codes (uint8 range stored as int16, row stride
+// pb.KStride()); sx/zp are the per-row dequantization scale and zero
+// point; bias may be nil (treated as zeros, including the +0.0
+// normalization). Y rows are fully written, not accumulated. Results
+// are bit-identical across kernel tiers.
+func GemmI8(x []int16, sx []float32, zp []int32, pb *PackedBI8, bias []float32, y []float32, batch int) {
+	checkGemmI8(x, sx, zp, pb, bias, y, batch)
+	gemmI8Rows(x, sx, zp, pb, bias, y, 0, batch)
+}
+
+// ParallelGemmI8 is GemmI8 with output rows split across workers
+// goroutines (0 = GOMAXPROCS). Each row is owned by exactly one worker
+// and the integer arithmetic is exact, so any partition is
+// bit-identical to serial on every tier. Small problems run serially.
+func ParallelGemmI8(x []int16, sx []float32, zp []int32, pb *PackedBI8, bias []float32, y []float32, batch, workers int) {
+	checkGemmI8(x, sx, zp, pb, bias, y, batch)
+	workers = clampWorkers(workers, batch, pb.K, pb.N)
+	if workers <= 1 {
+		gemmI8Rows(x, sx, zp, pb, bias, y, 0, batch)
+		return
+	}
+	ParallelFor(batch, workers, func(lo, hi int) {
+		gemmI8Rows(x, sx, zp, pb, bias, y, lo, hi)
+	})
+}
+
+// gemmI8Rows runs the tiled kernel over output rows [lo, hi),
+// dispatching to the tier selected at init (or via SetKernel).
+func gemmI8Rows(x []int16, sx []float32, zp []int32, pb *PackedBI8, bias []float32, y []float32, lo, hi int) {
+	if useAVX2 {
+		gemmI8RowsAVX2(x, sx, zp, pb, bias, y, lo, hi)
+		return
+	}
+	gemmI8RowsGo(x, sx, zp, pb, bias, y, lo, hi)
+}
+
+// i8TileGroup returns the number of column tiles per cache block: the
+// nc dimension of the (mc, nc) blocking, sized so one group's packed
+// codes stay L2-resident while the row loop sweeps them.
+func i8TileGroup(pb *PackedBI8) int {
+	g := i8TileGroupBytes / (pb.kq * quadK * nrI8)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// gemmI8RowsGo is the portable reference tier. The loop nest mirrors
+// the AVX2 driver — column-tile groups (nc blocking) outer, rows
+// inner, tiles innermost — but any nest would produce identical bits:
+// integer dots are exact and the float epilogue is one fixed sequence
+// per element.
+func gemmI8RowsGo(x []int16, sx []float32, zp []int32, pb *PackedBI8, bias []float32, y []float32, lo, hi int) {
+	n, kq, ks := pb.N, pb.kq, pb.KStride()
+	tiles := pb.Tiles()
+	group := i8TileGroup(pb)
+	for t0 := 0; t0 < tiles; t0 += group {
+		tMax := min(t0+group, tiles)
+		for r := lo; r < hi; r++ {
+			xrow := x[r*ks : (r+1)*ks]
+			yrow := y[r*n : (r+1)*n]
+			sxr, zpr := sx[r], zp[r]
+			for t := t0; t < tMax; t++ {
+				j0 := t * nrI8
+				w := min(nrI8, n-j0)
+				gemmI8Tile(xrow, pb.codes[t*kq*quadK*nrI8:], yrow, kq, j0, w, sxr, zpr, pb, bias)
+			}
+		}
+	}
+}
+
+// gemmI8Tile computes w (≤ nrI8) output columns of one row against one
+// packed column tile: the pure-Go micro-kernel, also the edge path the
+// AVX2 driver uses for the zero-padded tail tile. Quads run outer so
+// the tile walk is contiguous and the 4 activation codes load once per
+// quad instead of once per channel; pad channels beyond w multiply
+// zero codes and are simply not written back. Integer accumulation is
+// exact, so the nest order cannot change a result.
+func gemmI8Tile(xrow []int16, tile []int8, yrow []float32, kq, j0, w int, sxr float32, zpr int32, pb *PackedBI8, bias []float32) {
+	var a0, a1, a2, a3, a4, a5, a6, a7 int32
+	off := 0
+	for q := 0; q < kq; q++ {
+		xq := xrow[q*quadK : q*quadK+quadK]
+		x0, x1, x2, x3 := int32(xq[0]), int32(xq[1]), int32(xq[2]), int32(xq[3])
+		b := tile[off : off+quadK*nrI8 : off+quadK*nrI8]
+		a0 += x0*int32(b[0]) + x1*int32(b[1]) + x2*int32(b[2]) + x3*int32(b[3])
+		a1 += x0*int32(b[4]) + x1*int32(b[5]) + x2*int32(b[6]) + x3*int32(b[7])
+		a2 += x0*int32(b[8]) + x1*int32(b[9]) + x2*int32(b[10]) + x3*int32(b[11])
+		a3 += x0*int32(b[12]) + x1*int32(b[13]) + x2*int32(b[14]) + x3*int32(b[15])
+		a4 += x0*int32(b[16]) + x1*int32(b[17]) + x2*int32(b[18]) + x3*int32(b[19])
+		a5 += x0*int32(b[20]) + x1*int32(b[21]) + x2*int32(b[22]) + x3*int32(b[23])
+		a6 += x0*int32(b[24]) + x1*int32(b[25]) + x2*int32(b[26]) + x3*int32(b[27])
+		a7 += x0*int32(b[28]) + x1*int32(b[29]) + x2*int32(b[30]) + x3*int32(b[31])
+		off += quadK * nrI8
+	}
+	acc := [nrI8]int32{a0, a1, a2, a3, a4, a5, a6, a7}
+	for c := 0; c < w; c++ {
+		j := j0 + c
+		var bj float32
+		if bias != nil {
+			bj = bias[j]
+		}
+		// One fixed float sequence per element — identical in the asm
+		// epilogue: convert, scale product, multiply, bias add (no FMA).
+		yrow[j] = float32(acc[c]-zpr*pb.ColSum[j])*(sxr*pb.Scale[j]) + bj
+	}
+}
+
+// MinMaxF32 returns the minimum and maximum of s, or (0, 0) for an
+// empty slice. On the AVX2 tier the scan runs 8 lanes wide; min/max
+// are exact comparisons, so results are bit-identical across tiers for
+// finite inputs (a −0.0/+0.0 pick may differ, which no downstream
+// arithmetic can observe). This is the range pass of dynamic
+// activation quantization.
+func MinMaxF32(s []float32) (lo, hi float32) {
+	if len(s) == 0 {
+		return 0, 0
+	}
+	n := len(s) &^ 7
+	if useAVX2 && n >= 8 {
+		lo, hi = minMaxF32(&s[0], n)
+	} else {
+		lo, hi = s[0], s[0]
+		n = 1
+	}
+	for _, v := range s[n:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// QuantizeRowI16 writes dst[i] = clamp(0, 255, ⌊src[i]·inv + zpf⌋) —
+// the dynamic uint8 activation quantization of the int8 GEMM path,
+// stored widened to int16 so the micro-kernel can broadcast quads
+// directly into VPMADDWD. zpf carries the zero point plus the 0.5
+// rounding bias (⌊x+zp+0.5⌋ = round-half-up), so the kernel is a pure
+// multiply-add-floor-clamp chain. The AVX2 tier performs exactly the
+// scalar operation sequence (f32 multiply, f32 add, floor, truncating
+// convert, integer clamp), so codes are bit-identical across tiers for
+// finite inputs.
+func QuantizeRowI16(dst []int16, src []float32, inv, zpf float32) {
+	if len(dst) < len(src) {
+		panic(fmt.Sprintf("tensor: QuantizeRowI16 dst length %d < src %d", len(dst), len(src)))
+	}
+	n := 0
+	if useAVX2 {
+		n = len(src) &^ 15
+		if n > 0 {
+			quantizeI16(&dst[0], &src[0], n, inv, zpf)
+		}
+	}
+	quantizeRowI16Go(dst[n:len(src)], src[n:], inv, zpf)
+}
+
+// quantizeRowI16Go is the scalar reference (and the tail path of the
+// AVX2 tier): per element one f32 multiply, one f32 add, a float64
+// floor (exact for every f32 value), and an integer clamp.
+func quantizeRowI16Go(dst []int16, src []float32, inv, zpf float32) {
+	for i, v := range src {
+		c := int32(math.Floor(float64(v*inv + zpf)))
+		if c < 0 {
+			c = 0
+		} else if c > 255 {
+			c = 255
+		}
+		dst[i] = int16(c)
+	}
+}

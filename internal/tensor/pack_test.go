@@ -75,6 +75,31 @@ func TestParallelGemmPackedMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestParallelGemmPackedMultiBlock forces the kc cache blocking to
+// span several L2 blocks (k·n·4 well above l2PanelBytes) and checks
+// the blocked parallel pass stays bit-identical to the serial packed
+// kernel on the active tier — the per-row panel order is unchanged by
+// blocking, so not even the FMA tier may drift.
+func TestParallelGemmPackedMultiBlock(t *testing.T) {
+	r := stats.NewRNG(29)
+	m, k, n := 40, 1024, 512
+	if parallelKC(n) >= k {
+		t.Fatalf("shape %dx%dx%d does not exercise multiple kc blocks (kc=%d)", m, k, n, parallelKC(n))
+	}
+	a := randTensor(r, m, k)
+	b := randTensor(r, k, n)
+	pb := PackB(b)
+	serial := New(m, n)
+	GemmPacked(a, pb, serial)
+	for _, workers := range []int{2, 3, 7} {
+		got := New(m, n)
+		ParallelGemmPacked(a, pb, got, workers)
+		if !Equal(got, serial, 0) {
+			t.Fatalf("workers %d: multi-block parallel result not bit-identical to serial packed", workers)
+		}
+	}
+}
+
 func TestGemmPackedAccumulates(t *testing.T) {
 	r := stats.NewRNG(23)
 	a := randTensor(r, 70, 65)
